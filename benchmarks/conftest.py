@@ -1,0 +1,9 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as regenerating a paper figure"
+    )

@@ -1,0 +1,24 @@
+"""Regenerates Figure 4: WSE2 vs WSE3 across benchmarks (large size).
+
+Run with ``pytest benchmarks/test_figure4.py --benchmark-only``; the rows the
+paper plots are printed as part of the benchmark output and asserted for
+shape (the WSE3 outperforms the WSE2 on every benchmark).
+"""
+
+import pytest
+
+from repro.eval.figure4 import compute_figure4, format_figure4
+
+
+@pytest.mark.figure("figure4")
+def test_figure4_rows(benchmark):
+    rows = benchmark(compute_figure4)
+    print("\n" + format_figure4(rows))
+    assert len(rows) == 4
+    for row in rows:
+        assert row.wse3_gpts > row.wse2_gpts, (
+            f"{row.benchmark}: expected the WSE3 to outperform the WSE2"
+        )
+        assert 1.0 < row.wse3_speedup < 2.0
+        # Throughput magnitudes land in the paper's 10^3..10^5 GPts/s band.
+        assert 1e3 < row.wse2_gpts < 1e5

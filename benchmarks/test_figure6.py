@@ -1,0 +1,18 @@
+"""Regenerates Figure 6: acoustic on WSE3 vs 128 A100 GPUs vs 128 CPU nodes."""
+
+import pytest
+
+from repro.eval.figure6 import compute_figure6, format_figure6
+
+
+@pytest.mark.figure("figure6")
+def test_figure6_rows(benchmark):
+    result = benchmark(compute_figure6)
+    print("\n" + format_figure6(result))
+    assert len(result.rows) == 3
+    # The single wafer outperforms both clusters by a wide margin; the paper
+    # reports ~14x over the GPUs and ~20x over the CPU nodes.
+    assert result.wse3_vs_gpu > 3.0
+    assert result.wse3_vs_cpu > 10.0
+    # And the GPU cluster outperforms the CPU cluster.
+    assert result.rows[1].gpts_per_second > result.rows[2].gpts_per_second

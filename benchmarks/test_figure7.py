@@ -1,0 +1,25 @@
+"""Regenerates Figure 7: the WSE3 roofline plus the A100 acoustic point."""
+
+import pytest
+
+from repro.eval.figure7 import compute_figure7, format_figure7
+
+
+@pytest.mark.figure("figure7")
+def test_figure7_points(benchmark):
+    data = benchmark(compute_figure7)
+    print("\n" + format_figure7(data))
+
+    memory_ceiling, fabric_ceiling, a100 = data.ceilings
+    # Every benchmark is compute bound when data resides in PE-local memory.
+    for label in ("Jacobian", "Diffusion", "Seismic", "UVKBE", "Acoustic"):
+        assert data.point(f"{label} (memory)").is_compute_bound(memory_ceiling)
+    # All benchmarks except (at most) the Jacobian are compute bound from the
+    # fabric as well.
+    fabric_bound = [
+        data.point(f"{label} (fabric)").is_compute_bound(fabric_ceiling)
+        for label in ("Diffusion", "Seismic", "UVKBE", "Acoustic")
+    ]
+    assert all(fabric_bound)
+    # The acoustic kernel on the A100 is memory bound.
+    assert not data.point("Acoustic (A100)").is_compute_bound(a100)

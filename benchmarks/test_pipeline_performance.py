@@ -1,0 +1,44 @@
+"""Compiler-throughput benchmarks: how fast the pipeline itself runs.
+
+These are not part of the paper's evaluation but are useful regression
+benchmarks for the reproduction: compile time per benchmark and functional
+simulation speed.
+"""
+
+import pytest
+
+from repro.benchmarks import benchmark_by_name
+from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.wse.simulator import WseSimulator
+
+
+@pytest.mark.parametrize("name", ["Jacobian", "Seismic", "UVKBE"])
+def test_compile_time(benchmark, name):
+    bench = benchmark_by_name(name)
+    radius = 4 if bench.stencil_points >= 25 else 2
+    grid = 2 * radius + 1
+    program = bench.program(nx=grid, ny=grid, nz=32, time_steps=2)
+
+    def compile_once():
+        return compile_stencil_program(
+            program, PipelineOptions(grid_width=grid, grid_height=grid, num_chunks=2)
+        )
+
+    result = benchmark(compile_once)
+    assert result.program_module is not None
+
+
+def test_simulation_throughput(benchmark):
+    bench = benchmark_by_name("Jacobian")
+    program = bench.program(nx=6, ny=6, nz=32, time_steps=2)
+    compiled = compile_stencil_program(
+        program, PipelineOptions(grid_width=6, grid_height=6, num_chunks=2)
+    )
+
+    def simulate_once():
+        simulator = WseSimulator(compiled.program_module)
+        simulator.execute()
+        return simulator.statistics
+
+    stats = benchmark(simulate_once)
+    assert stats.exchanges == 6 * 6 * 2

@@ -1,0 +1,18 @@
+"""Regenerates Table 1: lines-of-code comparison."""
+
+import pytest
+
+from repro.eval.table1 import compute_table1, format_table1
+
+
+@pytest.mark.figure("table1")
+def test_table1_rows(benchmark):
+    rows = benchmark(compute_table1)
+    print("\n" + format_table1(rows))
+    assert len(rows) == 5
+    for row in rows:
+        # The DSL source is dramatically smaller than the generated CSL
+        # (Table 1's headline result).
+        assert row.dsl_ours < row.csl_kernel_only
+        assert row.csl_kernel_only < row.csl_entire
+        assert row.csl_entire > 200

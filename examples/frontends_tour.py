@@ -1,0 +1,127 @@
+"""Front-end agnosticism tour: the same pipeline serves three DSLs.
+
+The paper's central usability claim is that any front-end emitting the
+stencil dialect targets the WSE without user-code changes.  This example
+writes the *same* heat-diffusion kernel three ways —
+
+* symbolically, with the Devito-like DSL,
+* as a Fortran loop nest, through the Flang-like extractor,
+* as PSyclone-style kernel metadata + algorithm layer,
+
+— compiles each through the identical pipeline, runs all three on the fabric
+simulator with the same input data and shows they produce the same result
+and the same program structure.
+
+Run with:  python examples/frontends_tour.py
+"""
+
+import numpy as np
+
+from repro.baselines.numpy_ref import allocate_fields, field_to_columns
+from repro.dialects import csl
+from repro.frontends.common import Constant, FieldAccess, StencilProgram
+from repro.frontends.devito_like import Eq, Grid, Operator, TimeFunction
+from repro.frontends.flang_like import parse_fortran_stencil
+from repro.frontends.psyclone_like import (
+    AccessMode,
+    AlgorithmLayer,
+    FieldArgument,
+    Kernel,
+    KernelMetadata,
+)
+from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.wse.simulator import WseSimulator
+
+SHAPE = (5, 5, 12)
+ALPHA = 0.1
+
+
+def devito_version() -> StencilProgram:
+    grid = Grid(shape=SHAPE, halo=(1, 1, 1))
+    u = TimeFunction("u", grid)
+    v = TimeFunction("v", grid)
+    update = u.center + u.laplace() * Constant(ALPHA)
+    return Operator([Eq(v, update)], name="diffusion_devito", time_steps=1).to_stencil_program()
+
+
+def flang_version() -> StencilProgram:
+    nx, ny, nz = SHAPE
+    statement = (
+        "v(k,j,i) = u(k,j,i) + (u(k,j,i+1) + u(k,j,i-1) + u(k,j+1,i) + u(k,j-1,i)"
+        " + u(k+1,j,i) + u(k-1,j,i) + u(k,j,i) * -6.0) * 0.1"
+    )
+    source = f"""
+    do i = 1, {nx}
+      do j = 1, {ny}
+        do k = 1, {nz}
+          {statement}
+        enddo
+      enddo
+    enddo
+    """
+    return parse_fortran_stencil(source, name="diffusion_flang", time_steps=1)
+
+
+def psyclone_version() -> StencilProgram:
+    metadata = KernelMetadata(
+        "diffusion_kernel",
+        [
+            FieldArgument("u", AccessMode.READ, stencil_extent=1),
+            FieldArgument("v", AccessMode.WRITE),
+        ],
+    )
+
+    def update(access):
+        laplacian = (
+            access("u", 1, 0, 0) + access("u", -1, 0, 0)
+            + access("u", 0, 1, 0) + access("u", 0, -1, 0)
+            + access("u", 0, 0, 1) + access("u", 0, 0, -1)
+            + access("u", 0, 0, 0) * Constant(-6.0)
+        )
+        return access("u", 0, 0, 0) + laplacian * Constant(ALPHA)
+
+    kernel = Kernel(metadata, {"v": update})
+    return (
+        AlgorithmLayer("diffusion_psyclone", SHAPE, time_steps=1)
+        .invoke(kernel)
+        .to_stencil_program()
+    )
+
+
+def run(program: StencilProgram, fields) -> tuple[np.ndarray, int]:
+    options = PipelineOptions(grid_width=SHAPE[0], grid_height=SHAPE[1], num_chunks=2)
+    compiled = compile_stencil_program(program, options)
+    simulator = WseSimulator(compiled.program_module)
+    for decl in program.fields:
+        simulator.load_field(decl.name, field_to_columns(program, decl.name, fields[decl.name]))
+    simulator.execute()
+    task_count = sum(
+        1 for op in compiled.program_module.ops if isinstance(op, csl.TaskOp)
+    )
+    return simulator.read_field("v"), task_count
+
+
+def main() -> None:
+    programs = {
+        "Devito-like": devito_version(),
+        "Flang-like": flang_version(),
+        "PSyclone-like": psyclone_version(),
+    }
+
+    rng = np.random.default_rng(11)
+    interior = rng.uniform(-1.0, 1.0, SHAPE)
+    results = {}
+    for label, program in programs.items():
+        fields = allocate_fields(program, lambda name, shape: interior)
+        result, task_count = run(program, fields)
+        results[label] = result
+        print(f"{label:<14} compiled: {task_count} tasks in the PE program")
+
+    reference = results["Devito-like"]
+    for label, result in results.items():
+        np.testing.assert_allclose(result, reference, rtol=1e-5, atol=1e-6)
+    print("all three front-ends produce identical results on the simulated WSE — OK")
+
+
+if __name__ == "__main__":
+    main()

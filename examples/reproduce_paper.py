@@ -1,0 +1,14 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Prints the data behind Figures 4-7 and Table 1 (see EXPERIMENTS.md for the
+paper-vs-measured comparison).  Equivalent to running the benchmark harness
+with ``pytest benchmarks/ --benchmark-only`` but as a plain script.
+
+Run with:  python examples/reproduce_paper.py
+"""
+
+from repro.eval.report import full_report
+
+
+if __name__ == "__main__":
+    print(full_report())

@@ -1,0 +1,6 @@
+"""Setup shim so `pip install -e .` works in offline environments without the
+`wheel` package (legacy editable install path)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro: reproduction of "An MLIR Lowering Pipeline for Stencils at Wafer-Scale".
+
+The package is organised into:
+
+- :mod:`repro.ir`        -- an SSA IR core in the spirit of xDSL/MLIR.
+- :mod:`repro.dialects`  -- the dialects used by the paper (builtin, arith,
+  func, scf, tensor, memref, linalg, stencil, dmp, varith, csl_stencil,
+  csl_wrapper and csl).
+- :mod:`repro.transforms` -- the five groups of lowering transformations plus
+  the optimisation passes, and the full pipeline driver.
+- :mod:`repro.backend`   -- the CSL code printer, layout metaprogram generator
+  and the executable PE-program builder used by the simulator.
+- :mod:`repro.wse`       -- the Wafer-Scale Engine substrate: fabric simulator,
+  runtime communication library, machine specifications and performance model.
+- :mod:`repro.frontends` -- three small front-ends (Devito-like, Flang-like,
+  PSyclone-like) that emit the stencil dialect.
+- :mod:`repro.baselines` -- NumPy reference executor, GPU/CPU analytical
+  baselines and roofline machinery.
+- :mod:`repro.benchmarks` -- the five paper benchmarks.
+- :mod:`repro.eval`      -- the harness that regenerates every figure/table.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

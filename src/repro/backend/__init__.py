@@ -1,0 +1,13 @@
+"""Backend: CSL source generation from csl-ir.
+
+* :mod:`repro.backend.csl_printer` — prints a csl-ir module as CSL source
+  text (the paper's final code-generation step, Section 4.3);
+* :mod:`repro.backend.runtime_library` — the CSL source template of the
+  runtime communications library (Section 5.6) that generated programs
+  import;
+* :mod:`repro.backend.loc` — lines-of-code accounting used by Table 1.
+"""
+
+from repro.backend.csl_printer import CslPrinter, print_csl_module, print_csl_sources
+
+__all__ = ["CslPrinter", "print_csl_module", "print_csl_sources"]

@@ -1,0 +1,311 @@
+"""CSL source of the runtime communications library (paper Section 5.6).
+
+Generated PE programs import this library as ``stencil_comms.csl``.  It
+implements the partitionable communication strategy of Jacquelin et al. for
+star-shaped stencils of up to three dimensions at configurable pattern radius
+and chunk size: asynchronous sends and receives are scheduled in all four
+cardinal directions, internal tasks per direction handle completion of each
+asynchronous step and update the routing switches, and the user-provided
+callbacks are triggered per received chunk and at the end of the exchange.
+
+Two variants are provided: the WSE2 variant programs the switch so that every
+PE also transmits to itself (a hardware restriction of that generation,
+Section 6), the WSE3 variant omits the self-route and uses the upgraded
+switching logic.
+
+The text is used two ways: it is written next to the generated ``.csl``
+sources so the emitted program is complete, and its line count feeds the
+"CSL entire" column of Table 1.
+"""
+
+from __future__ import annotations
+
+_HEADER = """\
+// stencil_comms.csl
+// Chunked star-shaped halo exchange for stencils on the Wafer-Scale Engine.
+// Parameters are injected by the layout metaprogram at compile time.
+
+param pattern : u16;          // stencil radius in the (x, y) plane
+param chunkSize : u16;        // values exchanged per chunk and direction
+param numChunks : u16;        // chunks per exchange
+param paddedZDim : u16;       // chunkSize * numChunks
+param numDirections : u16;    // remote directions of the stencil shape
+
+const directionCount : u16 = 4;
+
+// Colors used by the exchange; two per direction (send / receive) plus one
+// control color for switch reconfiguration.
+param eastChannel : color;
+param westChannel : color;
+param northChannel : color;
+param southChannel : color;
+param controlChannel : color;
+
+const sys_mod = @import_module("<memcpy/memcpy>");
+
+// Receive buffer shared by all directions: one chunk slot per direction and
+// per hop of the pattern radius.
+var receive_staging = @zeros([directionCount * pattern * chunkSize]f32);
+// Outgoing staging buffer, double buffered so forwarding can overlap with
+// the local send of the next chunk.
+var send_staging = @zeros([2 * chunkSize]f32);
+"""
+
+_STATE = """\
+// ---------------------------------------------------------------------------
+// Exchange state
+// ---------------------------------------------------------------------------
+
+var current_chunk : u16 = 0;
+var chunks_received : [directionCount]u16 = @constants([directionCount]u16, 0);
+var directions_done : u16 = 0;
+var exchange_active : bool = false;
+
+var source_dsd : mem1d_dsd;
+var user_recv_callback : *const fn (i16) void = null;
+var user_done_callback : *const fn () void = null;
+
+// Per-direction fabric DSDs, rebuilt whenever the routing switches change.
+var east_out : fabout_dsd;
+var west_out : fabout_dsd;
+var north_out : fabout_dsd;
+var south_out : fabout_dsd;
+var east_in : fabin_dsd;
+var west_in : fabin_dsd;
+var north_in : fabin_dsd;
+var south_in : fabin_dsd;
+"""
+
+_TASKS = """\
+// ---------------------------------------------------------------------------
+// Internal tasks: one send-done and one receive task per direction, plus a
+// chunk-completion task that fires once all directions delivered a chunk.
+// ---------------------------------------------------------------------------
+
+task east_send_done() void {
+  directions_done += 1;
+  if (directions_done == numDirections) { @activate(chunk_sent_task_id); }
+}
+
+task west_send_done() void {
+  directions_done += 1;
+  if (directions_done == numDirections) { @activate(chunk_sent_task_id); }
+}
+
+task north_send_done() void {
+  directions_done += 1;
+  if (directions_done == numDirections) { @activate(chunk_sent_task_id); }
+}
+
+task south_send_done() void {
+  directions_done += 1;
+  if (directions_done == numDirections) { @activate(chunk_sent_task_id); }
+}
+
+task east_receive(wavelet : f32) void {
+  receive_staging[0 * chunkSize + chunks_received[0]] = wavelet;
+  chunks_received[0] += 1;
+  if (chunks_received[0] == chunkSize) { @activate(chunk_received_task_id); }
+}
+
+task west_receive(wavelet : f32) void {
+  receive_staging[1 * chunkSize + chunks_received[1]] = wavelet;
+  chunks_received[1] += 1;
+  if (chunks_received[1] == chunkSize) { @activate(chunk_received_task_id); }
+}
+
+task north_receive(wavelet : f32) void {
+  receive_staging[2 * chunkSize + chunks_received[2]] = wavelet;
+  chunks_received[2] += 1;
+  if (chunks_received[2] == chunkSize) { @activate(chunk_received_task_id); }
+}
+
+task south_receive(wavelet : f32) void {
+  receive_staging[3 * chunkSize + chunks_received[3]] = wavelet;
+  chunks_received[3] += 1;
+  if (chunks_received[3] == chunkSize) { @activate(chunk_received_task_id); }
+}
+
+task chunk_received() void {
+  // All directions have delivered the current chunk: hand it to the user.
+  if (user_recv_callback != null) {
+    user_recv_callback(@as(i16, current_chunk * chunkSize));
+  }
+  var d : u16 = 0;
+  while (d < directionCount) : (d += 1) { chunks_received[d] = 0; }
+  @activate(next_chunk_task_id);
+}
+
+task chunk_sent() void {
+  directions_done = 0;
+  // Sending of this chunk has completed in every direction; forwarding for
+  // deeper pattern radii is performed by the router switch configuration.
+}
+
+task next_chunk() void {
+  current_chunk += 1;
+  if (current_chunk < numChunks) {
+    send_current_chunk();
+  } else {
+    exchange_active = false;
+    reset_switches();
+    if (user_done_callback != null) { user_done_callback(); }
+  }
+}
+"""
+
+_SENDING = """\
+// ---------------------------------------------------------------------------
+// Sending
+// ---------------------------------------------------------------------------
+
+fn send_current_chunk() void {
+  // Shift the chunk of the local column into the send staging buffer and
+  // fire the four asynchronous micro-DMAs.
+  const chunk_view = @increment_dsd_offset(source_dsd,
+      @as(i16, current_chunk * chunkSize), f32);
+  @fmovs(send_staging_dsd, chunk_view);
+  @fmovs(east_out, send_staging_dsd, .{ .async = true,
+      .activate = east_send_done });
+  @fmovs(west_out, send_staging_dsd, .{ .async = true,
+      .activate = west_send_done });
+  @fmovs(north_out, send_staging_dsd, .{ .async = true,
+      .activate = north_send_done });
+  @fmovs(south_out, send_staging_dsd, .{ .async = true,
+      .activate = south_send_done });
+}
+
+const send_staging_dsd = @get_dsd(mem1d_dsd,
+    .{ .tensor_access = |i|{chunkSize} -> send_staging[i] });
+
+// ---------------------------------------------------------------------------
+// Routing switches
+// ---------------------------------------------------------------------------
+
+fn configure_switches() void {
+  // Star-shaped exchange: for a pattern radius r every column travels up to
+  // r hops in each cardinal direction.  Switch positions are advanced with
+  // control wavelets after each hop so intermediate PEs forward data without
+  // consuming it.
+  var hop : u16 = 1;
+  while (hop < pattern) : (hop += 1) {
+    @fmovs(east_out, control_advance_dsd, .{ .async = true });
+    @fmovs(west_out, control_advance_dsd, .{ .async = true });
+    @fmovs(north_out, control_advance_dsd, .{ .async = true });
+    @fmovs(south_out, control_advance_dsd, .{ .async = true });
+  }
+}
+
+fn reset_switches() void {
+  @fmovs(east_out, control_reset_dsd, .{ .async = true });
+  @fmovs(west_out, control_reset_dsd, .{ .async = true });
+  @fmovs(north_out, control_reset_dsd, .{ .async = true });
+  @fmovs(south_out, control_reset_dsd, .{ .async = true });
+}
+
+const control_advance_dsd = @get_dsd(fabout_dsd,
+    .{ .extent = 1, .fabric_color = controlChannel,
+       .control = true });
+const control_reset_dsd = @get_dsd(fabout_dsd,
+    .{ .extent = 1, .fabric_color = controlChannel,
+       .control = true });
+"""
+
+_ENTRY_WSE_COMMON = """\
+// ---------------------------------------------------------------------------
+// Public entry point
+// ---------------------------------------------------------------------------
+
+fn communicate(source : *[paddedZDim]f32, chunks : u16,
+               recv_cb : *const fn (i16) void,
+               done_cb : *const fn () void) void {
+  if (exchange_active) {
+    // Nested exchanges are a programming error; surface it loudly.
+    @assert(false);
+  }
+  exchange_active = true;
+  current_chunk = 0;
+  directions_done = 0;
+  user_recv_callback = recv_cb;
+  user_done_callback = done_cb;
+  source_dsd = @get_dsd(mem1d_dsd,
+      .{ .tensor_access = |i|{chunkSize} -> source.*[i] });
+  configure_switches();
+  send_current_chunk();
+}
+"""
+
+_WSE2_ROUTES = """\
+// ---------------------------------------------------------------------------
+// WSE2 route configuration: the switch restriction of this generation means
+// every PE also transmits to itself on each of the four routes.
+// ---------------------------------------------------------------------------
+
+comptime {
+  @set_local_color_config(eastChannel,
+      .{ .routes = .{ .rx = .{ WEST, RAMP }, .tx = .{ EAST, RAMP } } });
+  @set_local_color_config(westChannel,
+      .{ .routes = .{ .rx = .{ EAST, RAMP }, .tx = .{ WEST, RAMP } } });
+  @set_local_color_config(northChannel,
+      .{ .routes = .{ .rx = .{ SOUTH, RAMP }, .tx = .{ NORTH, RAMP } } });
+  @set_local_color_config(southChannel,
+      .{ .routes = .{ .rx = .{ NORTH, RAMP }, .tx = .{ SOUTH, RAMP } } });
+}
+"""
+
+_WSE3_ROUTES = """\
+// ---------------------------------------------------------------------------
+// WSE3 route configuration: the upgraded switching logic no longer requires
+// the self-transmit route, halving ramp traffic per exchange.
+// ---------------------------------------------------------------------------
+
+comptime {
+  @set_local_color_config(eastChannel,
+      .{ .routes = .{ .rx = .{ WEST }, .tx = .{ EAST } } });
+  @set_local_color_config(westChannel,
+      .{ .routes = .{ .rx = .{ EAST }, .tx = .{ WEST } } });
+  @set_local_color_config(northChannel,
+      .{ .routes = .{ .rx = .{ SOUTH }, .tx = .{ NORTH } } });
+  @set_local_color_config(southChannel,
+      .{ .routes = .{ .rx = .{ NORTH }, .tx = .{ SOUTH } } });
+}
+"""
+
+_BINDINGS = """\
+// ---------------------------------------------------------------------------
+// Task bindings
+// ---------------------------------------------------------------------------
+
+param chunk_received_task_id : local_task_id;
+param chunk_sent_task_id : local_task_id;
+param next_chunk_task_id : local_task_id;
+
+comptime {
+  @bind_local_task(chunk_received_task_id, chunk_received);
+  @bind_local_task(chunk_sent_task_id, chunk_sent);
+  @bind_local_task(next_chunk_task_id, next_chunk);
+  @bind_data_task(@get_data_task_id(eastChannel), east_receive);
+  @bind_data_task(@get_data_task_id(westChannel), west_receive);
+  @bind_data_task(@get_data_task_id(northChannel), north_receive);
+  @bind_data_task(@get_data_task_id(southChannel), south_receive);
+  @bind_local_task(@get_local_task_id(2), east_send_done);
+  @bind_local_task(@get_local_task_id(3), west_send_done);
+  @bind_local_task(@get_local_task_id(4), north_send_done);
+  @bind_local_task(@get_local_task_id(5), south_send_done);
+}
+"""
+
+
+def runtime_library_source(target: str = "wse2") -> str:
+    """The complete CSL source of the communications library for a target."""
+    routes = _WSE2_ROUTES if target.lower() == "wse2" else _WSE3_ROUTES
+    return "\n".join(
+        [_HEADER, _STATE, _TASKS, _SENDING, _ENTRY_WSE_COMMON, routes, _BINDINGS]
+    )
+
+
+def runtime_library_loc(target: str = "wse2") -> int:
+    """Non-blank lines of the runtime library (used by Table 1)."""
+    return sum(
+        1 for line in runtime_library_source(target).splitlines() if line.strip()
+    )

@@ -1,0 +1,93 @@
+"""Analytical model of the paper's CPU baseline (Figure 6).
+
+The paper's CPU numbers come from MPI + OpenMP kernels on 128 nodes of the
+ARCHER2 Cray-EX (two 64-core AMD EPYC 7742 per node, Slingshot interconnect)
+running the acoustic benchmark on a 1024³ FP32 grid.  The model mirrors the
+GPU one: per-node roofline throughput plus a halo-exchange term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuNodeSpec:
+    name: str
+    memory_bandwidth: float  # bytes/s per node
+    peak_flops: float  # FP32 FLOP/s per node
+    achievable_fraction: float
+
+
+#: A dual EPYC-7742 ARCHER2 node: ~410 GB/s of DDR4 bandwidth, 128 cores.
+ARCHER2_NODE = CpuNodeSpec(
+    name="dual EPYC 7742",
+    memory_bandwidth=410e9,
+    peak_flops=2 * 64 * 2.25e9 * 16,
+    achievable_fraction=0.65,
+)
+
+
+@dataclass(frozen=True)
+class CpuClusterSpec:
+    node: CpuNodeSpec
+    num_nodes: int
+    internode_bandwidth: float  # bytes/s per node (Slingshot)
+    mpi_latency: float
+
+
+ARCHER2_128_NODES = CpuClusterSpec(
+    node=ARCHER2_NODE,
+    num_nodes=128,
+    internode_bandwidth=25e9,
+    mpi_latency=20e-6,
+)
+
+
+@dataclass(frozen=True)
+class CpuEstimate:
+    gpts_per_second: float
+    seconds_per_iteration: float
+    compute_seconds: float
+    halo_seconds: float
+
+
+def estimate_cpu_cluster_throughput(
+    cluster: CpuClusterSpec,
+    grid_points: int,
+    flops_per_point: float,
+    bytes_per_point: float,
+    halo_bytes_per_subdomain: float,
+) -> CpuEstimate:
+    points_per_node = grid_points / cluster.num_nodes
+    per_point_seconds = max(
+        bytes_per_point
+        / (cluster.node.memory_bandwidth * cluster.node.achievable_fraction),
+        flops_per_point / (cluster.node.peak_flops * cluster.node.achievable_fraction),
+    )
+    compute_seconds = points_per_node * per_point_seconds
+    halo_seconds = (
+        halo_bytes_per_subdomain / cluster.internode_bandwidth + cluster.mpi_latency
+    )
+    seconds_per_iteration = compute_seconds + halo_seconds
+    return CpuEstimate(
+        gpts_per_second=grid_points / seconds_per_iteration / 1e9,
+        seconds_per_iteration=seconds_per_iteration,
+        compute_seconds=compute_seconds,
+        halo_seconds=halo_seconds,
+    )
+
+
+def acoustic_on_archer2(grid_side: int = 1024) -> CpuEstimate:
+    """The paper's configuration: 1024³ FP32 acoustic on 128 ARCHER2 nodes."""
+    grid_points = grid_side**3
+    points_per_node = grid_points / ARCHER2_128_NODES.num_nodes
+    subdomain_side = points_per_node ** (1.0 / 3.0)
+    halo_bytes = 6 * (subdomain_side**2) * 4 * 2
+    return estimate_cpu_cluster_throughput(
+        ARCHER2_128_NODES,
+        grid_points=grid_points,
+        flops_per_point=21.0,
+        bytes_per_point=40.0,
+        halo_bytes_per_subdomain=halo_bytes,
+    )

@@ -1,0 +1,116 @@
+"""Analytical model of the paper's GPU baseline (Figure 6).
+
+The paper compares the WSE3 against MPI + OpenACC kernels on 128 Nvidia A100
+GPUs of the Tursa supercomputer (Bisbas et al., IPDPS'25), running the
+acoustic benchmark on a 1158³ grid in FP32.  Without access to Tursa we model
+each GPU with a roofline-limited per-device throughput plus a halo-exchange
+term for the strong-scaling decomposition, using the hardware numbers quoted
+in the paper (A100: 2.039 TB/s HBM bandwidth, 17.59  FP32 TFLOP/s peak,
+4×200 Gb/s Infiniband per node, 4 GPUs per node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One accelerator of the baseline cluster."""
+
+    name: str
+    memory_bandwidth: float  # bytes/s
+    peak_flops: float  # FLOP/s
+    achievable_fraction: float  # fraction of roofline reached by OpenACC code
+
+
+#: Nvidia A100-80 as used on Tursa, with the paper's roofline numbers.
+A100 = GpuSpec(
+    name="A100",
+    memory_bandwidth=2.039e12,
+    peak_flops=17.59e12,
+    achievable_fraction=0.55,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A GPU cluster running an MPI domain decomposition."""
+
+    gpu: GpuSpec
+    num_gpus: int
+    gpus_per_node: int
+    internode_bandwidth: float  # bytes/s per node
+    mpi_latency: float  # seconds per halo exchange step
+
+
+TURSA_128_A100 = ClusterSpec(
+    gpu=A100,
+    num_gpus=128,
+    gpus_per_node=4,
+    internode_bandwidth=4 * 25e9,
+    mpi_latency=30e-6,
+)
+
+
+@dataclass(frozen=True)
+class GpuEstimate:
+    """Throughput estimate for the cluster on a stencil workload."""
+
+    gpts_per_second: float
+    seconds_per_iteration: float
+    compute_seconds: float
+    halo_seconds: float
+    points_per_gpu: float
+
+
+def estimate_cluster_throughput(
+    cluster: ClusterSpec,
+    grid_points: int,
+    flops_per_point: float,
+    bytes_per_point: float,
+    halo_bytes_per_subdomain: float,
+) -> GpuEstimate:
+    """Strong-scaling estimate: per-iteration time = compute + halo exchange."""
+    points_per_gpu = grid_points / cluster.num_gpus
+
+    per_point_seconds = max(
+        bytes_per_point / (cluster.gpu.memory_bandwidth * cluster.gpu.achievable_fraction),
+        flops_per_point / (cluster.gpu.peak_flops * cluster.gpu.achievable_fraction),
+    )
+    compute_seconds = points_per_gpu * per_point_seconds
+
+    node_bandwidth_per_gpu = cluster.internode_bandwidth / cluster.gpus_per_node
+    halo_seconds = (
+        halo_bytes_per_subdomain / node_bandwidth_per_gpu + cluster.mpi_latency
+    )
+
+    seconds_per_iteration = compute_seconds + halo_seconds
+    gpts = grid_points / seconds_per_iteration / 1e9
+    return GpuEstimate(
+        gpts_per_second=gpts,
+        seconds_per_iteration=seconds_per_iteration,
+        compute_seconds=compute_seconds,
+        halo_seconds=halo_seconds,
+        points_per_gpu=points_per_gpu,
+    )
+
+
+def acoustic_on_tursa(grid_side: int = 1158) -> GpuEstimate:
+    """The paper's acoustic configuration: 1158³ FP32 on 128 A100s.
+
+    A 13-point acoustic update streams roughly three full wavefields plus the
+    velocity model (4 arrays × 4 bytes read/written ≈ 40 B per point after
+    cache reuse of neighbouring loads), at ~21 FLOP per point.
+    """
+    grid_points = grid_side**3
+    points_per_gpu = grid_points / TURSA_128_A100.num_gpus
+    subdomain_side = points_per_gpu ** (1.0 / 3.0)
+    halo_bytes = 6 * (subdomain_side**2) * 4 * 2  # 6 faces, FP32, two halo layers
+    return estimate_cluster_throughput(
+        TURSA_128_A100,
+        grid_points=grid_points,
+        flops_per_point=21.0,
+        bytes_per_point=40.0,
+        halo_bytes_per_subdomain=halo_bytes,
+    )

@@ -1,0 +1,131 @@
+"""Reference NumPy executor for stencil programs.
+
+Executes a :class:`~repro.frontends.common.StencilProgram` directly with
+NumPy array slicing, using the same semantics as the stencil dialect: every
+equation is evaluated with value semantics (a snapshot of its inputs) over
+the interior of the grid, equations apply sequentially within a time step,
+and halo cells are Dirichlet-zero (never updated).
+
+This is the ground truth the fabric simulator's results are validated
+against, and it doubles as the "CPU" functional implementation used by the
+examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontends.common import (
+    Add,
+    Constant,
+    Expression,
+    FieldAccess,
+    Mul,
+    StencilProgram,
+)
+
+
+def allocate_fields(
+    program: StencilProgram, initializer=None
+) -> dict[str, np.ndarray]:
+    """Allocate every field with its halo, optionally filling the interior.
+
+    ``initializer`` is called as ``initializer(name, interior_shape)`` and
+    must return an array of that shape; when omitted the interior is zero.
+    Halo cells are always zero.
+    """
+    fields: dict[str, np.ndarray] = {}
+    for decl in program.fields:
+        padded_shape = tuple(n + 2 * h for n, h in zip(decl.shape, decl.halo))
+        array = np.zeros(padded_shape, dtype=np.float32)
+        if initializer is not None:
+            hx, hy, hz = decl.halo
+            nx, ny, nz = decl.shape
+            array[hx : hx + nx, hy : hy + ny, hz : hz + nz] = np.asarray(
+                initializer(decl.name, decl.shape), dtype=np.float32
+            )
+        fields[decl.name] = array
+    return fields
+
+
+def interior(program: StencilProgram, name: str, array: np.ndarray) -> np.ndarray:
+    """The interior (non-halo) view of a field array."""
+    decl = program.field(name)
+    hx, hy, hz = decl.halo
+    nx, ny, nz = decl.shape
+    return array[hx : hx + nx, hy : hy + ny, hz : hz + nz]
+
+
+def _evaluate(
+    expression: Expression,
+    program: StencilProgram,
+    fields: dict[str, np.ndarray],
+    output_field: str,
+) -> np.ndarray:
+    """Evaluate an expression over the interior of the output field."""
+    decl = program.field(output_field)
+    hx, hy, hz = decl.halo
+    nx, ny, nz = decl.shape
+
+    if isinstance(expression, Constant):
+        return np.float32(expression.value)
+    if isinstance(expression, FieldAccess):
+        dx, dy, dz = expression.offset
+        array = fields[expression.field]
+        return array[
+            hx + dx : hx + dx + nx,
+            hy + dy : hy + dy + ny,
+            hz + dz : hz + dz + nz,
+        ]
+    if isinstance(expression, Add):
+        total = _evaluate(expression.terms[0], program, fields, output_field)
+        for term in expression.terms[1:]:
+            total = total + _evaluate(term, program, fields, output_field)
+        return total
+    if isinstance(expression, Mul):
+        product = _evaluate(expression.factors[0], program, fields, output_field)
+        for factor in expression.factors[1:]:
+            product = product * _evaluate(factor, program, fields, output_field)
+        return product
+    raise TypeError(f"unsupported expression node {expression!r}")
+
+
+def run_reference(
+    program: StencilProgram,
+    fields: dict[str, np.ndarray],
+    time_steps: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Run the program in place and return the field dictionary."""
+    steps = time_steps if time_steps is not None else program.time_steps
+    for _ in range(steps):
+        for equation in program.equations:
+            result = _evaluate(equation.expression, program, fields, equation.output)
+            result = np.asarray(result, dtype=np.float32)
+            interior(program, equation.output, fields[equation.output])[...] = result
+    return fields
+
+
+def field_to_columns(
+    program: StencilProgram, name: str, array: np.ndarray
+) -> np.ndarray:
+    """Convert a halo-padded field into per-PE columns ``(nx, ny, z_total)``.
+
+    Each PE holds the full z extent (core plus z halo) of its (x, y) cell.
+    """
+    decl = program.field(name)
+    hx, hy, _ = decl.halo
+    nx, ny, _ = decl.shape
+    return np.ascontiguousarray(array[hx : hx + nx, hy : hy + ny, :])
+
+
+def columns_to_field(
+    program: StencilProgram, name: str, columns: np.ndarray
+) -> np.ndarray:
+    """Embed per-PE columns back into a zero-halo-padded field array."""
+    decl = program.field(name)
+    padded_shape = tuple(n + 2 * h for n, h in zip(decl.shape, decl.halo))
+    array = np.zeros(padded_shape, dtype=np.float32)
+    hx, hy, _ = decl.halo
+    nx, ny, _ = decl.shape
+    array[hx : hx + nx, hy : hy + ny, :] = columns
+    return array

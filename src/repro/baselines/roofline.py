@@ -1,0 +1,86 @@
+"""Roofline machinery for Figure 7.
+
+A roofline plots performance (FLOP/s) against arithmetic intensity
+(FLOP/byte), bounded by ``min(peak_flops, bandwidth * intensity)``.  The WSE
+has two relevant bandwidth ceilings — local memory and the fabric — so every
+WSE benchmark appears twice (Section 6.3); the A100 appears with its HBM
+ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wse.machine import WseMachineSpec
+
+
+@dataclass(frozen=True)
+class RooflineCeiling:
+    """One machine's roofline: a peak and a bandwidth slope."""
+
+    name: str
+    peak_flops: float
+    bandwidth: float
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable FLOP/s at the given arithmetic intensity."""
+        return min(self.peak_flops, self.bandwidth * intensity)
+
+    def ridge_point(self) -> float:
+        """Intensity at which the machine turns compute bound."""
+        return self.peak_flops / self.bandwidth
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on a roofline."""
+
+    label: str
+    arithmetic_intensity: float
+    performance: float
+
+    def is_compute_bound(self, ceiling: RooflineCeiling) -> bool:
+        return self.arithmetic_intensity >= ceiling.ridge_point()
+
+
+def wse_memory_ceiling(machine: WseMachineSpec) -> RooflineCeiling:
+    return RooflineCeiling(
+        name=f"{machine.name} memory BW",
+        peak_flops=machine.peak_flops,
+        bandwidth=machine.memory_bandwidth,
+    )
+
+
+def wse_fabric_ceiling(machine: WseMachineSpec) -> RooflineCeiling:
+    return RooflineCeiling(
+        name=f"{machine.name} fabric BW",
+        peak_flops=machine.peak_flops,
+        bandwidth=machine.fabric_bandwidth,
+    )
+
+
+def a100_ceiling() -> RooflineCeiling:
+    from repro.baselines.gpu_model import A100
+
+    return RooflineCeiling(
+        name="A100 DRAM BW",
+        peak_flops=A100.peak_flops,
+        bandwidth=A100.memory_bandwidth,
+    )
+
+
+def memory_intensity(flops_per_point: int, arrays_touched: int) -> float:
+    """Arithmetic intensity assuming every access hits PE-local memory.
+
+    Each point reads/writes ``arrays_touched`` FP32 values from local SRAM.
+    """
+    return flops_per_point / (4.0 * arrays_touched)
+
+
+def fabric_intensity(flops_per_point: int, communicated_values: float) -> float:
+    """Arithmetic intensity assuming all data arrives over the fabric.
+
+    ``communicated_values`` is the number of remote FP32 values a grid point
+    consumes per time step (remote stencil points divided by the column reuse).
+    """
+    return flops_per_point / (4.0 * max(communicated_values, 1e-9))

@@ -1,0 +1,36 @@
+"""The five benchmarks of the paper's evaluation (Section 6).
+
+=================  ==========  ======================  =========  ==========
+Benchmark          Front-end   Stencil                 Z extent   Iterations
+=================  ==========  ======================  =========  ==========
+Jacobian           Flang       3-D 6/7-point           900        100,000
+Diffusion          Devito      3-D 13-point (r=2)      704        512
+Acoustic           Devito      3-D 13-point, 2nd time  604        512
+25-point Seismic   Cerebras    3-D 25-point (r=4)      450        100,000
+UVKBE              PSyclone    4 fields, 2 applies     600        1
+=================  ==========  ======================  =========  ==========
+"""
+
+from repro.benchmarks.definitions import (
+    BENCHMARKS,
+    Benchmark,
+    ProblemSize,
+    acoustic_benchmark,
+    benchmark_by_name,
+    diffusion_benchmark,
+    jacobian_benchmark,
+    seismic_benchmark,
+    uvkbe_benchmark,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "ProblemSize",
+    "acoustic_benchmark",
+    "benchmark_by_name",
+    "diffusion_benchmark",
+    "jacobian_benchmark",
+    "seismic_benchmark",
+    "uvkbe_benchmark",
+]

@@ -1,0 +1,284 @@
+"""Definitions of the five evaluation benchmarks.
+
+Each benchmark is expressed in its paper front-end (Flang / Devito /
+PSyclone / hand-written CSL translated to the stencil dialect) and lowers to
+the shared :class:`~repro.frontends.common.StencilProgram`.  The problem
+sizes are the paper's: small 100×100, medium 500×500, large 750×994, with
+the benchmark-specific z extents and iteration counts of Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.frontends.common import (
+    Constant,
+    FieldAccess,
+    StencilEquation,
+    StencilProgram,
+)
+from repro.frontends.devito_like import Eq, Grid, Operator, TimeFunction
+from repro.frontends.flang_like import parse_fortran_stencil
+from repro.frontends.psyclone_like import (
+    AccessMode,
+    AlgorithmLayer,
+    FieldArgument,
+    Kernel,
+    KernelMetadata,
+)
+
+
+@dataclass(frozen=True)
+class ProblemSize:
+    """An (x, y) problem size from the paper's evaluation."""
+
+    name: str
+    nx: int
+    ny: int
+
+
+#: The three problem sizes of Section 6.
+SMALL = ProblemSize("small", 100, 100)
+MEDIUM = ProblemSize("medium", 500, 500)
+LARGE = ProblemSize("large", 750, 994)
+PROBLEM_SIZES = (SMALL, MEDIUM, LARGE)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One evaluation benchmark."""
+
+    name: str
+    frontend: str
+    z_dim: int
+    iterations: int
+    #: builds the stencil program for a given interior size.
+    factory: Callable[[int, int, int, int], StencilProgram]
+    #: FP32 operations per grid point per time step (used by the roofline).
+    flops_per_point: int
+    #: stencil points (for reporting).
+    stencil_points: int
+
+    def program(
+        self,
+        nx: int | None = None,
+        ny: int | None = None,
+        nz: int | None = None,
+        time_steps: int | None = None,
+    ) -> StencilProgram:
+        """Instantiate the stencil program (defaults: large size, paper z)."""
+        return self.factory(
+            nx if nx is not None else LARGE.nx,
+            ny if ny is not None else LARGE.ny,
+            nz if nz is not None else self.z_dim,
+            time_steps if time_steps is not None else self.iterations,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Jacobian (Flang front-end): Laplace's equation for diffusion in 3-D.
+# --------------------------------------------------------------------------- #
+
+
+def _jacobian_factory(nx: int, ny: int, nz: int, steps: int) -> StencilProgram:
+    update = (
+        "v(k,j,i) = (u(k,j,i) + u(k,j,i+1) + u(k,j,i-1) + u(k,j+1,i)"
+        " + u(k,j-1,i) + u(k+1,j,i) + u(k-1,j,i)) * 0.14285714"
+    )
+    source = f"""
+    do i = 1, {nx}
+      do j = 1, {ny}
+        do k = 1, {nz}
+          {update}
+        enddo
+      enddo
+    enddo
+    """
+    return parse_fortran_stencil(
+        source, name="jacobian", time_steps=steps, halo=(1, 1, 1)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Diffusion (Devito front-end): heat equation with a 13-point stencil.
+# --------------------------------------------------------------------------- #
+
+
+def _diffusion_factory(nx: int, ny: int, nz: int, steps: int) -> StencilProgram:
+    grid = Grid(shape=(nx, ny, nz), halo=(2, 2, 2))
+    u = TimeFunction("u", grid, space_order=2)
+    v = TimeFunction("v", grid, space_order=2)
+    # 4th-order Laplacian coefficients (r = 2): centre, distance-1, distance-2.
+    alpha = 0.1
+    laplacian = u.laplace_high_order(2, [-2.5, 4.0 / 3.0, -1.0 / 12.0])
+    update = u.center + laplacian * Constant(alpha)
+    operator = Operator(
+        [Eq(v, update)], name="diffusion", time_steps=steps
+    )
+    return operator.to_stencil_program()
+
+
+# --------------------------------------------------------------------------- #
+# Acoustic (Devito front-end): isotropic acoustic wave equation, 2nd order in
+# time (leap-frog: the previous wavefield is overwritten with the new one).
+# --------------------------------------------------------------------------- #
+
+
+def _acoustic_factory(nx: int, ny: int, nz: int, steps: int) -> StencilProgram:
+    grid = Grid(shape=(nx, ny, nz), halo=(2, 2, 2))
+    u = TimeFunction("u", grid, space_order=2)
+    u_prev = TimeFunction("u_prev", grid, space_order=2)
+    velocity = 0.18
+    laplacian = u.laplace_high_order(2, [-2.5, 4.0 / 3.0, -1.0 / 12.0])
+    update = (
+        u.center * Constant(2.0)
+        + u_prev.center * Constant(-1.0)
+        + laplacian * Constant(velocity)
+    )
+    operator = Operator(
+        [Eq(u_prev, update)], name="acoustic", time_steps=steps
+    )
+    return operator.to_stencil_program()
+
+
+# --------------------------------------------------------------------------- #
+# 25-point Seismic (translated from the hand-written Cerebras kernel):
+# an 8th-order star stencil, 1st order in time.
+# --------------------------------------------------------------------------- #
+
+#: 8th-order central-difference coefficients (centre + distances 1..4).
+SEISMIC_COEFFICIENTS = [
+    -2.847222222,
+    1.6,
+    -0.2,
+    0.02539682540,
+    -0.001785714286,
+]
+
+
+def _seismic_factory(nx: int, ny: int, nz: int, steps: int) -> StencilProgram:
+    grid = Grid(shape=(nx, ny, nz), halo=(4, 4, 4))
+    u = TimeFunction("u", grid, space_order=4)
+    v = TimeFunction("v", grid, space_order=4)
+    laplacian = u.laplace_high_order(4, SEISMIC_COEFFICIENTS)
+    update = u.center + laplacian * Constant(0.001)
+    operator = Operator([Eq(v, update)], name="seismic25", time_steps=steps)
+    return operator.to_stencil_program()
+
+
+# --------------------------------------------------------------------------- #
+# UVKBE (PSyclone front-end): four fields, two of which are communicated,
+# and two consecutive stencil applies (fused by stencil-inlining).
+# --------------------------------------------------------------------------- #
+
+
+def _uvkbe_factory(nx: int, ny: int, nz: int, steps: int) -> StencilProgram:
+    ke_metadata = KernelMetadata(
+        "kinetic_energy_kernel",
+        [
+            FieldArgument("u", AccessMode.READ, stencil_extent=1),
+            FieldArgument("v", AccessMode.READ, stencil_extent=1),
+            FieldArgument("ke", AccessMode.WRITE),
+        ],
+    )
+    ke_kernel = Kernel(
+        ke_metadata,
+        {
+            "ke": lambda access: (
+                (access("u", 1, 0, 0) + access("u", 0, 0, 0)) * Constant(0.25)
+                + (access("v", 0, 1, 0) + access("v", 0, 0, 0)) * Constant(0.25)
+            )
+        },
+    )
+    momentum_metadata = KernelMetadata(
+        "momentum_update_kernel",
+        [
+            FieldArgument("ke", AccessMode.READ),
+            FieldArgument("out", AccessMode.READWRITE),
+        ],
+    )
+    momentum_kernel = Kernel(
+        momentum_metadata,
+        {
+            "out": lambda access: (
+                access("ke", 0, 0, 0) * Constant(0.9)
+                + access("out", 0, 0, 0) * Constant(0.1)
+                + access("out", 0, 0, 1) * Constant(0.05)
+            )
+        },
+    )
+    algorithm = AlgorithmLayer("uvkbe", (nx, ny, nz), time_steps=steps)
+    algorithm.invoke(ke_kernel, momentum_kernel)
+    return algorithm.to_stencil_program()
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+
+
+jacobian_benchmark = Benchmark(
+    name="Jacobian",
+    frontend="Flang",
+    z_dim=900,
+    iterations=100_000,
+    factory=_jacobian_factory,
+    flops_per_point=8,
+    stencil_points=7,
+)
+
+diffusion_benchmark = Benchmark(
+    name="Diffusion",
+    frontend="Devito",
+    z_dim=704,
+    iterations=512,
+    factory=_diffusion_factory,
+    flops_per_point=25,
+    stencil_points=13,
+)
+
+acoustic_benchmark = Benchmark(
+    name="Acoustic",
+    frontend="Devito",
+    z_dim=604,
+    iterations=512,
+    factory=_acoustic_factory,
+    flops_per_point=29,
+    stencil_points=14,
+)
+
+seismic_benchmark = Benchmark(
+    name="Seismic",
+    frontend="Cerebras",
+    z_dim=450,
+    iterations=100_000,
+    factory=_seismic_factory,
+    flops_per_point=49,
+    stencil_points=25,
+)
+
+uvkbe_benchmark = Benchmark(
+    name="UVKBE",
+    frontend="PSyclone",
+    z_dim=600,
+    iterations=1,
+    factory=_uvkbe_factory,
+    flops_per_point=10,
+    stencil_points=7,
+)
+
+BENCHMARKS: tuple[Benchmark, ...] = (
+    jacobian_benchmark,
+    diffusion_benchmark,
+    seismic_benchmark,
+    uvkbe_benchmark,
+    acoustic_benchmark,
+)
+
+
+def benchmark_by_name(name: str) -> Benchmark:
+    for benchmark in BENCHMARKS:
+        if benchmark.name.lower() == name.lower():
+            return benchmark
+    raise KeyError(f"unknown benchmark '{name}'")

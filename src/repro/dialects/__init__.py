@@ -1,0 +1,8 @@
+"""Dialect definitions.
+
+Upstream (MLIR) dialects reimplemented as needed by the pipeline:
+``builtin``, ``arith``, ``func``, ``scf``, ``tensor``, ``memref``, ``linalg``.
+
+Paper dialects: ``stencil``, ``dmp``, ``varith``, ``csl_stencil``,
+``csl_wrapper`` and ``csl`` (the csl-ir dialect of Section 4.3).
+"""

@@ -1,0 +1,29 @@
+"""Regenerate every table and figure of the evaluation in one call."""
+
+from __future__ import annotations
+
+from repro.eval.figure4 import format_figure4
+from repro.eval.figure5 import format_figure5
+from repro.eval.figure6 import format_figure6
+from repro.eval.figure7 import format_figure7
+from repro.eval.table1 import format_table1
+
+
+def full_report() -> str:
+    """The complete evaluation as a text report."""
+    sections = [
+        format_figure4(),
+        format_figure5(),
+        format_figure6(),
+        format_figure7(),
+        format_table1(),
+    ]
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    print(full_report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,39 @@
+"""Front-ends that emit the stencil dialect.
+
+The paper's central claim is front-end agnosticism: once a DSL emits the
+``stencil`` dialect, the pipeline targets the WSE without user-code changes.
+We provide three small front-ends mirroring the paper's three:
+
+* :mod:`repro.frontends.devito_like` — a symbolic finite-difference DSL in
+  the spirit of Devito;
+* :mod:`repro.frontends.flang_like` — a Fortran loop-nest parser in the
+  spirit of the Flang stencil-extraction pass;
+* :mod:`repro.frontends.psyclone_like` — a kernel-metadata DSL in the spirit
+  of PSyclone.
+
+All three lower onto the shared :class:`repro.frontends.common.StencilProgram`
+description, from which :func:`repro.frontends.common.build_stencil_module`
+emits the stencil-dialect IR.
+"""
+
+from repro.frontends.common import (
+    Add,
+    Constant,
+    FieldAccess,
+    FieldDecl,
+    Mul,
+    StencilEquation,
+    StencilProgram,
+    build_stencil_module,
+)
+
+__all__ = [
+    "Add",
+    "Constant",
+    "FieldAccess",
+    "FieldDecl",
+    "Mul",
+    "StencilEquation",
+    "StencilProgram",
+    "build_stencil_module",
+]

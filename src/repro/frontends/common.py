@@ -1,0 +1,256 @@
+"""Front-end-neutral stencil program description and stencil-dialect emission.
+
+Every front-end lowers its input onto a :class:`StencilProgram`: a set of
+3-D fields, a list of stencil equations (expression trees over neighbouring
+accesses and constants) and a time-step count.  :func:`build_stencil_module`
+then emits the corresponding stencil-dialect IR — the common entry point of
+the compilation pipeline (Listing 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.dialects import arith, func, scf, stencil
+from repro.dialects.builtin import ModuleOp
+from repro.ir import Block, Builder, Region, f32
+from repro.ir.types import FunctionType, IndexType
+from repro.ir.value import SSAValue
+
+
+# --------------------------------------------------------------------------- #
+# Expression trees
+# --------------------------------------------------------------------------- #
+
+
+class Expression:
+    """Base class of stencil expression trees."""
+
+    def __add__(self, other: "ExpressionLike") -> "Add":
+        return Add([self, as_expression(other)])
+
+    __radd__ = __add__
+
+    def __mul__(self, other: "ExpressionLike") -> "Mul":
+        return Mul([self, as_expression(other)])
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other: "ExpressionLike") -> "Add":
+        return Add([self, Mul([as_expression(other), Constant(-1.0)])])
+
+    def accesses(self) -> list["FieldAccess"]:
+        """All field accesses in the expression, in evaluation order."""
+        raise NotImplementedError
+
+
+ExpressionLike = Union["Expression", int, float]
+
+
+def as_expression(value: ExpressionLike) -> "Expression":
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float)):
+        return Constant(float(value))
+    raise TypeError(f"cannot convert {value!r} to a stencil expression")
+
+
+@dataclass
+class Constant(Expression):
+    """A floating-point literal."""
+
+    value: float
+
+    def accesses(self) -> list["FieldAccess"]:
+        return []
+
+
+@dataclass
+class FieldAccess(Expression):
+    """Read a field at a constant offset from the current cell."""
+
+    field: str
+    offset: tuple[int, int, int]
+
+    def accesses(self) -> list["FieldAccess"]:
+        return [self]
+
+
+@dataclass
+class Add(Expression):
+    """Sum of terms."""
+
+    terms: list[Expression]
+
+    def accesses(self) -> list["FieldAccess"]:
+        return [access for term in self.terms for access in term.accesses()]
+
+
+@dataclass
+class Mul(Expression):
+    """Product of factors."""
+
+    factors: list[Expression]
+
+    def accesses(self) -> list["FieldAccess"]:
+        return [access for factor in self.factors for access in factor.accesses()]
+
+
+# --------------------------------------------------------------------------- #
+# Program description
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class FieldDecl:
+    """A 3-D field: interior size plus halo width in each dimension."""
+
+    name: str
+    shape: tuple[int, int, int]
+    halo: tuple[int, int, int] = (1, 1, 1)
+
+    def bounds(self) -> list[tuple[int, int]]:
+        return [(-h, n + h) for n, h in zip(self.shape, self.halo)]
+
+    def field_type(self) -> stencil.FieldType:
+        return stencil.FieldType(self.bounds(), f32)
+
+
+@dataclass
+class StencilEquation:
+    """``output[i, j, k] = expression`` evaluated over the interior."""
+
+    output: str
+    expression: Expression
+
+    def reads(self) -> list[str]:
+        return sorted({access.field for access in self.expression.accesses()})
+
+
+@dataclass
+class StencilProgram:
+    """A complete stencil program: fields, equations and a time loop."""
+
+    name: str
+    fields: list[FieldDecl]
+    equations: list[StencilEquation]
+    time_steps: int = 1
+
+    def field(self, name: str) -> FieldDecl:
+        for decl in self.fields:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"unknown field '{name}'")
+
+    @property
+    def interior_shape(self) -> tuple[int, int, int]:
+        return self.fields[0].shape
+
+
+# --------------------------------------------------------------------------- #
+# Stencil dialect emission
+# --------------------------------------------------------------------------- #
+
+
+def build_stencil_module(program: StencilProgram) -> ModuleOp:
+    """Emit a stencil-dialect module for the program.
+
+    The emitted structure is the paper's canonical entry form: a function
+    whose arguments are the fields, containing an ``scf.for`` time-step loop
+    whose body is a sequence of load / apply / store groups, one per equation.
+    """
+    field_types = [decl.field_type() for decl in program.fields]
+    function_type = FunctionType(field_types, [])
+    kernel = func.FuncOp(program.name, function_type)
+    for decl, arg in zip(program.fields, kernel.args):
+        arg.name_hint = decl.name
+    field_args: dict[str, SSAValue] = {
+        decl.name: arg for decl, arg in zip(program.fields, kernel.args)
+    }
+
+    builder = Builder.at_end(kernel.body.block)
+    lower = builder.insert(arith.ConstantOp(0, IndexType()))
+    upper = builder.insert(arith.ConstantOp(program.time_steps, IndexType()))
+    step = builder.insert(arith.ConstantOp(1, IndexType()))
+
+    loop = scf.ForOp(lower.results[0], upper.results[0], step.results[0])
+    builder.insert(loop)
+    builder.insert(func.ReturnOp())
+
+    loop_builder = Builder.at_end(loop.body.block)
+    for equation in program.equations:
+        _emit_equation(program, equation, field_args, loop_builder)
+    loop_builder.insert(scf.YieldOp())
+
+    return ModuleOp([kernel])
+
+
+def _emit_equation(
+    program: StencilProgram,
+    equation: StencilEquation,
+    field_args: dict[str, SSAValue],
+    builder: Builder,
+) -> None:
+    read_fields = equation.reads()
+    output_decl = program.field(equation.output)
+
+    temps: dict[str, SSAValue] = {}
+    for name in read_fields:
+        decl = program.field(name)
+        temp_type = stencil.TempType(decl.bounds(), f32)
+        load = stencil.LoadOp(field_args[name], temp_type)
+        builder.insert(load)
+        temps[name] = load.results[0]
+
+    result_bounds = [(0, n) for n in output_decl.shape]
+    result_type = stencil.TempType(result_bounds, f32)
+
+    apply_op = stencil.ApplyOp(
+        operands=[temps[name] for name in read_fields],
+        result_types=[result_type],
+    )
+    builder.insert(apply_op)
+
+    block = apply_op.body.block
+    arg_of_field = {name: block.args[i] for i, name in enumerate(read_fields)}
+    body_builder = Builder.at_end(block)
+    result_value = _emit_expression(equation.expression, arg_of_field, body_builder)
+    body_builder.insert(stencil.ReturnOp([result_value]))
+
+    store = stencil.StoreOp(
+        apply_op.results[0],
+        field_args[equation.output],
+        stencil.StencilBounds(result_bounds),
+    )
+    builder.insert(store)
+
+
+def _emit_expression(
+    expression: Expression,
+    arg_of_field: dict[str, SSAValue],
+    builder: Builder,
+) -> SSAValue:
+    if isinstance(expression, Constant):
+        op = builder.insert(arith.ConstantOp(expression.value, f32))
+        return op.results[0]
+    if isinstance(expression, FieldAccess):
+        op = builder.insert(
+            stencil.AccessOp(arg_of_field[expression.field], expression.offset, f32)
+        )
+        return op.results[0]
+    if isinstance(expression, Add):
+        values = [_emit_expression(term, arg_of_field, builder) for term in expression.terms]
+        result = values[0]
+        for value in values[1:]:
+            result = builder.insert(arith.AddfOp(result, value)).results[0]
+        return result
+    if isinstance(expression, Mul):
+        values = [
+            _emit_expression(factor, arg_of_field, builder) for factor in expression.factors
+        ]
+        result = values[0]
+        for value in values[1:]:
+            result = builder.insert(arith.MulfOp(result, value)).results[0]
+        return result
+    raise TypeError(f"unsupported expression node {expression!r}")

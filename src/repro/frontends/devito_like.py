@@ -1,0 +1,133 @@
+"""A symbolic finite-difference front-end in the spirit of Devito.
+
+Users declare a :class:`Grid`, define :class:`TimeFunction` symbols on it and
+write update equations with Python operator overloading; ``Operator`` lowers
+the equations onto the shared :class:`~repro.frontends.common.StencilProgram`
+description (and from there to the stencil dialect), exactly as Devito lowers
+SymPy expressions onto the stencil dialect in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontends.common import (
+    Add,
+    Constant,
+    Expression,
+    FieldAccess,
+    FieldDecl,
+    StencilEquation,
+    StencilProgram,
+    as_expression,
+)
+
+
+@dataclass
+class Grid:
+    """A 3-D cartesian grid with uniform halo."""
+
+    shape: tuple[int, int, int]
+    halo: tuple[int, int, int] = (1, 1, 1)
+
+
+class TimeFunction:
+    """A field defined on a grid, supporting shifted accesses.
+
+    ``u[dx, dy, dz]`` builds an access at a constant offset; arithmetic on
+    those accesses builds the update expression.
+    """
+
+    def __init__(self, name: str, grid: Grid, space_order: int = 1):
+        self.name = name
+        self.grid = grid
+        self.space_order = space_order
+
+    def __getitem__(self, offset: tuple[int, int, int]) -> FieldAccess:
+        if len(offset) != 3:
+            raise ValueError("TimeFunction accesses take a 3-component offset")
+        return FieldAccess(self.name, tuple(int(c) for c in offset))
+
+    @property
+    def center(self) -> FieldAccess:
+        return self[0, 0, 0]
+
+    def dx2(self) -> Expression:
+        """Second central difference along x (unit spacing)."""
+        return self[1, 0, 0] + self[-1, 0, 0] + self.center * Constant(-2.0)
+
+    def dy2(self) -> Expression:
+        return self[0, 1, 0] + self[0, -1, 0] + self.center * Constant(-2.0)
+
+    def dz2(self) -> Expression:
+        return self[0, 0, 1] + self[0, 0, -1] + self.center * Constant(-2.0)
+
+    def laplace(self) -> Expression:
+        """The 7-point Laplacian."""
+        return self.dx2() + self.dy2() + self.dz2()
+
+    def laplace_high_order(self, radius: int, coefficients: list[float]) -> Expression:
+        """A star-shaped high-order Laplacian of the given radius.
+
+        ``coefficients[0]`` weights the centre point; ``coefficients[d]``
+        weights the two neighbours at distance ``d`` along each axis.
+        """
+        if len(coefficients) != radius + 1:
+            raise ValueError("need one coefficient per distance (plus the centre)")
+        terms: list[Expression] = [self.center * Constant(coefficients[0])]
+        for distance in range(1, radius + 1):
+            weight = Constant(coefficients[distance])
+            for axis in range(3):
+                offset = [0, 0, 0]
+                offset[axis] = distance
+                terms.append(self[tuple(offset)] * weight)
+                offset[axis] = -distance
+                terms.append(self[tuple(offset)] * weight)
+        return Add(terms)
+
+    @property
+    def halo(self) -> tuple[int, int, int]:
+        order = max(1, self.space_order)
+        return (order, order, order)
+
+
+@dataclass
+class Eq:
+    """An update equation ``target <- expression``."""
+
+    target: TimeFunction
+    expression: Expression
+
+
+class Operator:
+    """Collects equations and lowers them to a stencil program."""
+
+    def __init__(self, equations: list[Eq], name: str = "devito_kernel",
+                 time_steps: int = 1):
+        self.equations = equations
+        self.name = name
+        self.time_steps = time_steps
+
+    def to_stencil_program(self) -> StencilProgram:
+        fields: dict[str, FieldDecl] = {}
+        for equation in self.equations:
+            target = equation.target
+            fields.setdefault(
+                target.name,
+                FieldDecl(target.name, target.grid.shape, target.halo),
+            )
+            for access in equation.expression.accesses():
+                if access.field not in fields:
+                    fields[access.field] = FieldDecl(
+                        access.field, target.grid.shape, target.halo
+                    )
+        program_equations = [
+            StencilEquation(equation.target.name, as_expression(equation.expression))
+            for equation in self.equations
+        ]
+        return StencilProgram(
+            name=self.name,
+            fields=list(fields.values()),
+            equations=program_equations,
+            time_steps=self.time_steps,
+        )

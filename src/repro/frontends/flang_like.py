@@ -1,0 +1,213 @@
+"""A Fortran loop-nest front-end in the spirit of the Flang stencil pass.
+
+The paper's Flang integration identifies stencils inside Fortran loop nests
+and extracts them into the stencil dialect (Brown et al.).  This module does
+the same for a small Fortran-like subset: triple ``do`` loops whose body is a
+single array assignment over constant-offset accesses, e.g. Listing 1:
+
+.. code-block:: fortran
+
+    do i = 2, 255
+      do j = 2, 255
+        do k = 2, 511
+          data(k,j,i) = (data(k,j,i) + data(k,j,i+1)) * 0.12345
+        enddo
+      enddo
+    enddo
+
+Array references use Fortran's column-major convention ``name(k, j, i)``
+(fastest-varying index first); loop variables are mapped onto the (x, y, z)
+dimensions of the stencil program as ``i -> x``, ``j -> y``, ``k -> z``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.frontends.common import (
+    Add,
+    Constant,
+    Expression,
+    FieldAccess,
+    FieldDecl,
+    Mul,
+    StencilEquation,
+    StencilProgram,
+)
+
+
+class FortranParseError(ValueError):
+    """Raised when the Fortran-like input cannot be understood."""
+
+
+_DO_PATTERN = re.compile(
+    r"do\s+(?P<var>\w+)\s*=\s*(?P<lower>-?\d+)\s*,\s*(?P<upper>-?\d+)", re.IGNORECASE
+)
+_ACCESS_PATTERN = re.compile(r"(?P<name>\w+)\s*\((?P<indices>[^()]*)\)")
+
+
+@dataclass
+class _LoopSpec:
+    variable: str
+    lower: int
+    upper: int
+
+    @property
+    def extent(self) -> int:
+        return self.upper - self.lower + 1
+
+
+def _parse_index(token: str, loop_variables: dict[str, _LoopSpec]) -> tuple[str, int]:
+    """Parse one index expression like ``i``, ``i+1`` or ``k-2``."""
+    token = token.strip().replace(" ", "")
+    match = re.fullmatch(r"(?P<var>\w+)(?P<offset>[+-]\d+)?", token)
+    if not match or match.group("var") not in loop_variables:
+        raise FortranParseError(f"unsupported array index expression '{token}'")
+    offset = int(match.group("offset") or 0)
+    return match.group("var"), offset
+
+
+class _ExpressionParser:
+    """Recursive-descent parser for the right-hand side expressions."""
+
+    def __init__(self, text: str, loop_variables: dict[str, _LoopSpec],
+                 index_order: list[str]):
+        self.text = text
+        self.position = 0
+        self.loop_variables = loop_variables
+        self.index_order = index_order
+
+    # grammar: expr := term (('+'|'-') term)* ; term := factor ('*' factor)* ;
+    # factor := number | access | '(' expr ')'
+
+    def parse(self) -> Expression:
+        expression = self._expr()
+        self._skip_spaces()
+        if self.position != len(self.text):
+            raise FortranParseError(
+                f"unexpected trailing input: '{self.text[self.position:]}'"
+            )
+        return expression
+
+    def _skip_spaces(self) -> None:
+        while self.position < len(self.text) and self.text[self.position].isspace():
+            self.position += 1
+
+    def _peek(self) -> str:
+        self._skip_spaces()
+        return self.text[self.position] if self.position < len(self.text) else ""
+
+    def _expr(self) -> Expression:
+        terms = [self._term()]
+        while self._peek() and self._peek() in "+-":
+            operator = self.text[self.position]
+            self.position += 1
+            term = self._term()
+            if operator == "-":
+                term = Mul([term, Constant(-1.0)])
+            terms.append(term)
+        return terms[0] if len(terms) == 1 else Add(terms)
+
+    def _term(self) -> Expression:
+        factors = [self._factor()]
+        while self._peek() == "*":
+            self.position += 1
+            factors.append(self._factor())
+        return factors[0] if len(factors) == 1 else Mul(factors)
+
+    def _factor(self) -> Expression:
+        self._skip_spaces()
+        character = self._peek()
+        if character == "(":
+            self.position += 1
+            inner = self._expr()
+            if self._peek() != ")":
+                raise FortranParseError("missing closing parenthesis")
+            self.position += 1
+            return inner
+        number = re.match(
+            r"[-+]?\d+(\.\d*)?([eEdD][-+]?\d+)?", self.text[self.position:].lstrip()
+        )
+        remaining = self.text[self.position:].lstrip()
+        access = _ACCESS_PATTERN.match(remaining)
+        if access and not remaining[: access.start("name")]:
+            self.position = len(self.text) - len(remaining) + access.end()
+            return self._build_access(access)
+        if number and number.group():
+            consumed = number.group()
+            self.position = len(self.text) - len(remaining) + len(consumed)
+            return Constant(float(consumed.lower().replace("d", "e")))
+        raise FortranParseError(f"cannot parse factor at '{remaining[:20]}'")
+
+    def _build_access(self, match: re.Match) -> FieldAccess:
+        name = match.group("name")
+        indices = [token for token in match.group("indices").split(",")]
+        if len(indices) != 3:
+            raise FortranParseError("only rank-3 array accesses are supported")
+        offsets: dict[str, int] = {}
+        for token in indices:
+            variable, offset = _parse_index(token, self.loop_variables)
+            offsets[variable] = offset
+        # Fortran lists the fastest-varying (innermost, z) index first; the
+        # stencil program uses (x, y, z).
+        ordered = tuple(offsets[variable] for variable in self.index_order)
+        return FieldAccess(name, ordered)
+
+
+def parse_fortran_stencil(
+    source: str, name: str = "flang_kernel", time_steps: int = 1,
+    halo: tuple[int, int, int] | None = None,
+) -> StencilProgram:
+    """Extract a stencil program from a Fortran-like loop nest."""
+    lines = [line.strip() for line in source.strip().splitlines() if line.strip()]
+    loops: list[_LoopSpec] = []
+    assignments: list[str] = []
+    for line in lines:
+        do_match = _DO_PATTERN.match(line)
+        if do_match:
+            loops.append(
+                _LoopSpec(
+                    do_match.group("var"),
+                    int(do_match.group("lower")),
+                    int(do_match.group("upper")),
+                )
+            )
+        elif line.lower().startswith("enddo") or line.lower().startswith("end do"):
+            continue
+        elif "=" in line:
+            assignments.append(line)
+
+    if len(loops) < 3:
+        raise FortranParseError("expected a triple loop nest (do i / do j / do k)")
+    loop_variables = {loop.variable: loop for loop in loops}
+    # Outermost loop is x, middle is y, innermost is z.
+    index_order = [loops[0].variable, loops[1].variable, loops[2].variable]
+    shape = (loops[0].extent, loops[1].extent, loops[2].extent)
+
+    equations: list[StencilEquation] = []
+    field_names: list[str] = []
+    max_offset = [1, 1, 1]
+    for assignment in assignments:
+        left, right = assignment.split("=", 1)
+        target_match = _ACCESS_PATTERN.match(left.strip())
+        if target_match is None:
+            raise FortranParseError(f"cannot parse assignment target '{left}'")
+        target_name = target_match.group("name")
+        parser = _ExpressionParser(right.strip(), loop_variables, index_order)
+        expression = parser.parse()
+        equations.append(StencilEquation(target_name, expression))
+        for access in expression.accesses():
+            if access.field not in field_names:
+                field_names.append(access.field)
+            for axis in range(3):
+                max_offset[axis] = max(max_offset[axis], abs(access.offset[axis]))
+        if target_name not in field_names:
+            field_names.append(target_name)
+
+    if halo is None:
+        halo = tuple(max_offset)
+    fields = [FieldDecl(field_name, shape, halo) for field_name in field_names]
+    return StencilProgram(
+        name=name, fields=fields, equations=equations, time_steps=time_steps
+    )

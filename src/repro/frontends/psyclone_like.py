@@ -1,0 +1,134 @@
+"""A kernel-metadata front-end in the spirit of PSyclone.
+
+PSyclone separates the *algorithm* (which kernels to apply to which fields)
+from the *kernel* (the pointwise computation with declared stencil accesses).
+This module mirrors that split: a :class:`KernelMetadata` declares the fields
+a kernel reads/writes and their stencil extents; a :class:`Kernel` provides
+the update expression; an :class:`AlgorithmLayer` strings invocations together
+and lowers them onto the shared stencil-program description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.frontends.common import (
+    Expression,
+    FieldAccess,
+    FieldDecl,
+    StencilEquation,
+    StencilProgram,
+)
+
+
+class AccessMode:
+    """PSyclone-style access descriptors."""
+
+    READ = "gh_read"
+    WRITE = "gh_write"
+    READWRITE = "gh_readwrite"
+
+
+@dataclass
+class FieldArgument:
+    """One kernel argument: a field, its access mode and stencil extent."""
+
+    name: str
+    access: str
+    stencil_extent: int = 0
+
+
+@dataclass
+class KernelMetadata:
+    """Declarative description of a kernel's data accesses."""
+
+    name: str
+    arguments: list[FieldArgument]
+
+    def written_fields(self) -> list[str]:
+        return [
+            argument.name
+            for argument in self.arguments
+            if argument.access in (AccessMode.WRITE, AccessMode.READWRITE)
+        ]
+
+    def read_fields(self) -> list[str]:
+        return [
+            argument.name
+            for argument in self.arguments
+            if argument.access in (AccessMode.READ, AccessMode.READWRITE)
+        ]
+
+    def max_extent(self) -> int:
+        return max((argument.stencil_extent for argument in self.arguments), default=1)
+
+
+@dataclass
+class Kernel:
+    """A kernel: metadata plus the expression builder for each written field.
+
+    ``expressions`` maps a written field name to a callable producing its
+    update expression from an access helper
+    (``access(field, dx, dy, dz) -> FieldAccess``).
+    """
+
+    metadata: KernelMetadata
+    expressions: dict[str, Callable[[Callable[..., FieldAccess]], Expression]]
+
+    def build_equations(self) -> list[StencilEquation]:
+        def access(field_name: str, dx: int = 0, dy: int = 0, dz: int = 0) -> FieldAccess:
+            return FieldAccess(field_name, (dx, dy, dz))
+
+        equations = []
+        for output in self.metadata.written_fields():
+            builder = self.expressions.get(output)
+            if builder is None:
+                raise KeyError(
+                    f"kernel '{self.metadata.name}' writes '{output}' but provides "
+                    "no expression for it"
+                )
+            equations.append(StencilEquation(output, builder(access)))
+        return equations
+
+
+@dataclass
+class Invoke:
+    """One ``invoke(...)`` call in the algorithm layer."""
+
+    kernels: Sequence[Kernel]
+
+
+@dataclass
+class AlgorithmLayer:
+    """The PSyclone algorithm layer: fields, invokes, and the time loop."""
+
+    name: str
+    grid_shape: tuple[int, int, int]
+    invokes: list[Invoke] = field(default_factory=list)
+    time_steps: int = 1
+
+    def invoke(self, *kernels: Kernel) -> "AlgorithmLayer":
+        self.invokes.append(Invoke(list(kernels)))
+        return self
+
+    def to_stencil_program(self) -> StencilProgram:
+        declarations: dict[str, FieldDecl] = {}
+        equations: list[StencilEquation] = []
+        for invoke in self.invokes:
+            for kernel in invoke.kernels:
+                extent = max(1, kernel.metadata.max_extent())
+                halo = (extent, extent, extent)
+                for argument in kernel.metadata.arguments:
+                    existing = declarations.get(argument.name)
+                    if existing is None or max(existing.halo) < extent:
+                        declarations[argument.name] = FieldDecl(
+                            argument.name, self.grid_shape, halo
+                        )
+                equations.extend(kernel.build_equations())
+        return StencilProgram(
+            name=self.name,
+            fields=list(declarations.values()),
+            equations=equations,
+            time_steps=self.time_steps,
+        )

@@ -1,0 +1,17 @@
+"""Exception types raised by the IR core."""
+
+
+class DiagnosticException(Exception):
+    """Base class for all compiler-raised diagnostics."""
+
+
+class VerifyException(DiagnosticException):
+    """Raised when an operation or module fails structural verification."""
+
+
+class PassFailedException(DiagnosticException):
+    """Raised when a compiler pass cannot complete its transformation."""
+
+
+class InterpretationError(DiagnosticException):
+    """Raised when the IR interpreter encounters an unsupported construct."""

@@ -1,0 +1,371 @@
+"""Operations, blocks and regions — the structural backbone of the IR."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.ir.attributes import Attribute
+from repro.ir.exceptions import VerifyException
+from repro.ir.value import BlockArgument, OpResult, SSAValue, Use
+
+
+class Operation:
+    """A generic SSA operation.
+
+    An operation has a dialect-qualified ``name``, a list of SSA operands, a
+    list of SSA results, a dictionary of attributes, and an optional list of
+    nested regions.  Dialect operations subclass :class:`Operation`, set the
+    class attribute ``name`` and usually provide a convenience constructor
+    plus accessor properties.
+    """
+
+    name: str = "unregistered"
+
+    #: trait classes attached to the operation type (see :mod:`repro.ir.traits`).
+    traits: tuple = ()
+
+    def __init__(
+        self,
+        operands: Sequence[SSAValue] = (),
+        result_types: Sequence[Attribute] = (),
+        attributes: dict[str, Attribute] | None = None,
+        regions: Sequence["Region"] | None = None,
+        successors: Sequence["Block"] = (),
+    ):
+        self._operands: list[SSAValue] = []
+        self.results: list[OpResult] = [
+            OpResult(t, self, i) for i, t in enumerate(result_types)
+        ]
+        self.attributes: dict[str, Attribute] = dict(attributes or {})
+        self.regions: list[Region] = []
+        self.successors: list[Block] = list(successors)
+        self.parent: Block | None = None
+
+        for operand in operands:
+            self.add_operand(operand)
+        for region in regions or ():
+            self.add_region(region)
+
+    # ------------------------------------------------------------------ #
+    # Operand management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def operands(self) -> tuple[SSAValue, ...]:
+        return tuple(self._operands)
+
+    def add_operand(self, value: SSAValue) -> None:
+        index = len(self._operands)
+        self._operands.append(value)
+        value.add_use(Use(self, index))
+
+    def set_operand(self, index: int, new_value: SSAValue) -> None:
+        old = self._operands[index]
+        old.remove_use(Use(self, index))
+        self._operands[index] = new_value
+        new_value.add_use(Use(self, index))
+
+    def set_operands(self, new_operands: Sequence[SSAValue]) -> None:
+        self.drop_all_operands()
+        for value in new_operands:
+            self.add_operand(value)
+
+    def drop_all_operands(self) -> None:
+        for index, value in enumerate(self._operands):
+            value.remove_use(Use(self, index))
+        self._operands.clear()
+
+    # ------------------------------------------------------------------ #
+    # Region management
+    # ------------------------------------------------------------------ #
+
+    def add_region(self, region: "Region") -> None:
+        region.parent = self
+        self.regions.append(region)
+
+    @property
+    def body_block(self) -> "Block":
+        """First block of the first region (common single-block case)."""
+        return self.regions[0].blocks[0]
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+
+    def parent_op(self) -> "Operation | None":
+        if self.parent is not None and self.parent.parent is not None:
+            return self.parent.parent.parent
+        return None
+
+    def parent_of_type(self, op_type: type) -> "Operation | None":
+        """Closest ancestor operation of the given type, if any."""
+        current = self.parent_op()
+        while current is not None:
+            if isinstance(current, op_type):
+                return current
+            current = current.parent_op()
+        return None
+
+    def walk(self, *, reverse: bool = False) -> Iterator["Operation"]:
+        """Iterate over this operation and all nested operations, pre-order."""
+        if not reverse:
+            yield self
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.ops) if not reverse else reversed(list(block.ops)):
+                    yield from op.walk(reverse=reverse)
+        if reverse:
+            yield self
+
+    def walk_type(self, op_type: type) -> Iterator["Operation"]:
+        """Iterate over nested operations of the given type."""
+        for op in self.walk():
+            if isinstance(op, op_type):
+                yield op
+
+    def next_op(self) -> "Operation | None":
+        """The operation following this one in its block, if any."""
+        if self.parent is None:
+            return None
+        ops = self.parent.ops
+        index = ops.index(self)
+        return ops[index + 1] if index + 1 < len(ops) else None
+
+    def prev_op(self) -> "Operation | None":
+        if self.parent is None:
+            return None
+        ops = self.parent.ops
+        index = ops.index(self)
+        return ops[index - 1] if index > 0 else None
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def detach(self) -> "Operation":
+        """Remove this op from its parent block without dropping operands."""
+        if self.parent is not None:
+            self.parent.ops.remove(self)
+            self.parent = None
+        return self
+
+    def erase(self) -> None:
+        """Detach the op and drop its operand uses.
+
+        The op must no longer have any users of its results.
+        """
+        for result in self.results:
+            if result.has_uses:
+                raise VerifyException(
+                    f"cannot erase '{self.name}': result still has uses"
+                )
+        self.detach()
+        self.drop_all_operands()
+        for region in self.regions:
+            region.drop_all_references()
+
+    def clone(
+        self, value_map: dict[SSAValue, SSAValue] | None = None
+    ) -> "Operation":
+        """Deep-copy this operation (and nested regions).
+
+        ``value_map`` maps values defined outside the cloned op to their
+        replacements; it is extended with the cloned results and block
+        arguments so nested uses are remapped consistently.
+        """
+        value_map = dict(value_map) if value_map is not None else {}
+        return self._clone_into(value_map)
+
+    def _clone_into(self, value_map: dict[SSAValue, SSAValue]) -> "Operation":
+        new_operands = [value_map.get(operand, operand) for operand in self._operands]
+        cloned = object.__new__(type(self))
+        Operation.__init__(
+            cloned,
+            operands=new_operands,
+            result_types=[result.type for result in self.results],
+            attributes=dict(self.attributes),
+            successors=list(self.successors),
+        )
+        cloned.name = self.name
+        for old_result, new_result in zip(self.results, cloned.results):
+            value_map[old_result] = new_result
+            new_result.name_hint = old_result.name_hint
+        for region in self.regions:
+            cloned.add_region(region.clone_into(value_map))
+        return cloned
+
+    # ------------------------------------------------------------------ #
+    # Verification
+    # ------------------------------------------------------------------ #
+
+    def verify(self) -> None:
+        """Verify this operation and all nested operations."""
+        for trait in self.traits:
+            trait.verify(self)
+        self.verify_()
+        for region in self.regions:
+            for block in region.blocks:
+                for op in block.ops:
+                    if op.parent is not block:
+                        raise VerifyException(
+                            f"operation '{op.name}' has a stale parent pointer"
+                        )
+                    op.verify()
+
+    def verify_(self) -> None:
+        """Operation-specific verification; overridden by dialect ops."""
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def attr(self, key: str, default=None):
+        return self.attributes.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} '{self.name}'>"
+
+
+class UnregisteredOp(Operation):
+    """Fallback operation with a dynamic name, used by tests and the parser."""
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(**kwargs)
+        self.name = name
+
+
+class Block:
+    """A straight-line sequence of operations with block arguments."""
+
+    def __init__(
+        self,
+        arg_types: Sequence[Attribute] = (),
+        ops: Sequence[Operation] = (),
+    ):
+        self.args: list[BlockArgument] = [
+            BlockArgument(t, self, i) for i, t in enumerate(arg_types)
+        ]
+        self.ops: list[Operation] = []
+        self.parent: Region | None = None
+        for op in ops:
+            self.add_op(op)
+
+    # ------------------------------------------------------------------ #
+    # Argument management
+    # ------------------------------------------------------------------ #
+
+    def insert_arg(self, arg_type: Attribute, index: int) -> BlockArgument:
+        arg = BlockArgument(arg_type, self, index)
+        self.args.insert(index, arg)
+        for i, existing in enumerate(self.args):
+            existing.index = i
+        return arg
+
+    def add_arg(self, arg_type: Attribute) -> BlockArgument:
+        return self.insert_arg(arg_type, len(self.args))
+
+    def erase_arg(self, arg: BlockArgument) -> None:
+        if arg.has_uses:
+            raise VerifyException("cannot erase a block argument that has uses")
+        self.args.remove(arg)
+        for i, existing in enumerate(self.args):
+            existing.index = i
+
+    # ------------------------------------------------------------------ #
+    # Op management
+    # ------------------------------------------------------------------ #
+
+    def add_op(self, op: Operation) -> None:
+        op.parent = self
+        self.ops.append(op)
+
+    def add_ops(self, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            self.add_op(op)
+
+    def insert_op(self, op: Operation, index: int) -> None:
+        op.parent = self
+        self.ops.insert(index, op)
+
+    def insert_op_before(self, new_op: Operation, existing: Operation) -> None:
+        self.insert_op(new_op, self.ops.index(existing))
+
+    def insert_op_after(self, new_op: Operation, existing: Operation) -> None:
+        self.insert_op(new_op, self.ops.index(existing) + 1)
+
+    @property
+    def first_op(self) -> Operation | None:
+        return self.ops[0] if self.ops else None
+
+    @property
+    def last_op(self) -> Operation | None:
+        return self.ops[-1] if self.ops else None
+
+    def walk(self) -> Iterator[Operation]:
+        for op in list(self.ops):
+            yield from op.walk()
+
+    def drop_all_references(self) -> None:
+        for op in self.ops:
+            op.drop_all_operands()
+            for region in op.regions:
+                region.drop_all_references()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Block args={len(self.args)} ops={len(self.ops)}>"
+
+
+class Region:
+    """A list of blocks owned by an operation."""
+
+    def __init__(self, blocks: Sequence[Block] = ()):
+        self.blocks: list[Block] = []
+        self.parent: Operation | None = None
+        for block in blocks:
+            self.add_block(block)
+
+    def add_block(self, block: Block) -> None:
+        block.parent = self
+        self.blocks.append(block)
+
+    @property
+    def block(self) -> Block:
+        """The single block of a single-block region."""
+        if len(self.blocks) != 1:
+            raise VerifyException(
+                f"expected a single-block region, found {len(self.blocks)} blocks"
+            )
+        return self.blocks[0]
+
+    @property
+    def ops(self) -> list[Operation]:
+        """Ops of the single block of this region."""
+        return self.block.ops
+
+    def walk(self) -> Iterator[Operation]:
+        for block in self.blocks:
+            yield from block.walk()
+
+    def clone_into(self, value_map: dict[SSAValue, SSAValue]) -> "Region":
+        new_region = Region()
+        for block in self.blocks:
+            new_block = Block(arg_types=[arg.type for arg in block.args])
+            for old_arg, new_arg in zip(block.args, new_block.args):
+                value_map[old_arg] = new_arg
+                new_arg.name_hint = old_arg.name_hint
+            new_region.add_block(new_block)
+        # Second sweep so forward references between blocks resolve.
+        for block, new_block in zip(self.blocks, new_region.blocks):
+            for op in block.ops:
+                new_block.add_op(op._clone_into(value_map))
+        return new_region
+
+    def clone(self) -> "Region":
+        return self.clone_into({})
+
+    def drop_all_references(self) -> None:
+        for block in self.blocks:
+            block.drop_all_references()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Region blocks={len(self.blocks)}>"

@@ -1,0 +1,57 @@
+"""Module passes and the pass manager that sequences them."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.ir.exceptions import PassFailedException
+from repro.ir.operation import Operation
+
+
+class ModulePass:
+    """A whole-module transformation.
+
+    Subclasses set :attr:`name` and implement :meth:`apply`.
+    """
+
+    name: str = "unnamed-pass"
+
+    def apply(self, module: Operation) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ModulePass {self.name}>"
+
+
+class PassManager:
+    """Runs a sequence of :class:`ModulePass` instances over a module.
+
+    Verification runs after each pass by default so a broken rewrite is
+    reported at the pass that introduced it.
+    """
+
+    def __init__(self, passes: Iterable[ModulePass] = (), *, verify_each: bool = True):
+        self.passes: list[ModulePass] = list(passes)
+        self.verify_each = verify_each
+
+    def add(self, pass_: ModulePass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Operation) -> None:
+        for pass_ in self.passes:
+            try:
+                pass_.apply(module)
+            except PassFailedException:
+                raise
+            except Exception as error:
+                raise PassFailedException(
+                    f"pass '{pass_.name}' failed: {error}"
+                ) from error
+            if self.verify_each:
+                module.verify()
+
+    @property
+    def pipeline_description(self) -> str:
+        """Comma-separated pass names, mirroring ``mlir-opt`` pipelines."""
+        return ",".join(pass_.name for pass_ in self.passes)

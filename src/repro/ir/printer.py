@@ -1,0 +1,151 @@
+"""Generic textual printer for IR modules.
+
+The output format follows MLIR's generic form closely enough to be readable
+by people familiar with MLIR, while remaining simple:
+
+.. code-block::
+
+    %0 = "arith.constant"() {value = 1.0 : f32} : () -> (f32)
+    %1 = "arith.addf"(%0, %0) : (f32, f32) -> (f32)
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseArrayAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntAttr,
+    StringAttr,
+    SymbolRefAttr,
+    UnitAttr,
+)
+from repro.ir.operation import Block, Operation, Region
+from repro.ir.types import TypeAttribute
+from repro.ir.value import SSAValue
+
+
+class Printer:
+    """Prints operations in a generic MLIR-like syntax."""
+
+    def __init__(self, stream: TextIO | None = None, indent_width: int = 2):
+        self.stream = stream if stream is not None else io.StringIO()
+        self.indent_width = indent_width
+        self._value_names: dict[int, str] = {}
+        self._next_value_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Value naming
+    # ------------------------------------------------------------------ #
+
+    def _name_of(self, value: SSAValue) -> str:
+        key = id(value)
+        if key not in self._value_names:
+            if value.name_hint:
+                name = f"%{value.name_hint}_{self._next_value_id}"
+            else:
+                name = f"%{self._next_value_id}"
+            self._next_value_id += 1
+            self._value_names[key] = name
+        return self._value_names[key]
+
+    # ------------------------------------------------------------------ #
+    # Attribute printing
+    # ------------------------------------------------------------------ #
+
+    def attribute_str(self, attr: Attribute) -> str:
+        if isinstance(attr, TypeAttribute):
+            return str(attr)
+        if isinstance(attr, BoolAttr):
+            return "true" if attr.value else "false"
+        if isinstance(attr, IntAttr):
+            return str(attr.value)
+        if isinstance(attr, FloatAttr):
+            return repr(attr.value)
+        if isinstance(attr, StringAttr):
+            return f'"{attr.data}"'
+        if isinstance(attr, SymbolRefAttr):
+            return "@" + attr.string_value
+        if isinstance(attr, UnitAttr):
+            return "unit"
+        if isinstance(attr, ArrayAttr):
+            return "[" + ", ".join(self.attribute_str(a) for a in attr) + "]"
+        if isinstance(attr, DenseArrayAttr):
+            return "array<" + ", ".join(str(v) for v in attr) + ">"
+        if isinstance(attr, DictionaryAttr):
+            inner = ", ".join(
+                f"{key} = {self.attribute_str(value)}" for key, value in attr.items()
+            )
+            return "{" + inner + "}"
+        # Dialect-specific attributes provide their own __str__.
+        return str(attr)
+
+    # ------------------------------------------------------------------ #
+    # Operation printing
+    # ------------------------------------------------------------------ #
+
+    def print_op(self, op: Operation, indent: int = 0) -> None:
+        pad = " " * (indent * self.indent_width)
+        parts: list[str] = [pad]
+
+        if op.results:
+            names = ", ".join(self._name_of(result) for result in op.results)
+            parts.append(f"{names} = ")
+
+        operand_names = ", ".join(self._name_of(operand) for operand in op.operands)
+        parts.append(f'"{op.name}"({operand_names})')
+
+        if op.attributes:
+            attr_text = ", ".join(
+                f"{key} = {self.attribute_str(value)}"
+                for key, value in op.attributes.items()
+            )
+            parts.append(" {" + attr_text + "}")
+
+        if op.regions:
+            parts.append(" (")
+        self.stream.write("".join(parts))
+
+        for i, region in enumerate(op.regions):
+            if i > 0:
+                self.stream.write(", ")
+            self.print_region(region, indent)
+        if op.regions:
+            self.stream.write(")")
+
+        operand_types = ", ".join(str(operand.type) for operand in op.operands)
+        result_types = ", ".join(str(result.type) for result in op.results)
+        self.stream.write(f" : ({operand_types}) -> ({result_types})\n")
+
+    def print_region(self, region: Region, indent: int) -> None:
+        self.stream.write("{\n")
+        for block in region.blocks:
+            self.print_block(block, indent + 1)
+        self.stream.write(" " * (indent * self.indent_width) + "}")
+
+    def print_block(self, block: Block, indent: int) -> None:
+        pad = " " * (indent * self.indent_width)
+        if block.args:
+            args = ", ".join(
+                f"{self._name_of(arg)} : {arg.type}" for arg in block.args
+            )
+            self.stream.write(f"{pad}^bb({args}):\n")
+        for op in block.ops:
+            self.print_op(op, indent)
+
+    def print_module(self, op: Operation) -> str:
+        self.print_op(op)
+        if isinstance(self.stream, io.StringIO):
+            return self.stream.getvalue()
+        return ""
+
+
+def print_module(op: Operation) -> str:
+    """Print an operation (typically a module) to a string."""
+    return Printer().print_module(op)

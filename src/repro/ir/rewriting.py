@@ -1,0 +1,247 @@
+"""Pattern-based IR rewriting infrastructure.
+
+Transformation passes are written as :class:`RewritePattern` subclasses whose
+``match_and_rewrite`` method inspects one operation at a time and mutates the
+IR through the :class:`PatternRewriter` it is given.  The
+:class:`PatternRewriteWalker` drives patterns over a module until a fixpoint
+is reached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.ir.builder import InsertPoint
+from repro.ir.exceptions import VerifyException
+from repro.ir.operation import Block, Operation, Region
+from repro.ir.value import SSAValue
+
+
+class PatternRewriter:
+    """Mutation interface handed to rewrite patterns.
+
+    Tracks whether any modification happened so the driver can decide
+    whether another fixpoint iteration is needed.
+    """
+
+    def __init__(self, current_op: Operation):
+        self.current_op = current_op
+        self.has_done_action = False
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+
+    def insert_op_before_matched_op(self, ops: Operation | Sequence[Operation]) -> None:
+        self.insert_op_before(ops, self.current_op)
+
+    def insert_op_after_matched_op(self, ops: Operation | Sequence[Operation]) -> None:
+        self.insert_op_after(ops, self.current_op)
+
+    def insert_op_before(
+        self, ops: Operation | Sequence[Operation], target: Operation
+    ) -> None:
+        block = target.parent
+        assert block is not None, "target op is not attached to a block"
+        for op in _as_list(ops):
+            block.insert_op_before(op, target)
+        self.has_done_action = True
+
+    def insert_op_after(
+        self, ops: Operation | Sequence[Operation], target: Operation
+    ) -> None:
+        block = target.parent
+        assert block is not None, "target op is not attached to a block"
+        anchor = target
+        for op in _as_list(ops):
+            block.insert_op_after(op, anchor)
+            anchor = op
+        self.has_done_action = True
+
+    def insert_op_at_end(self, ops: Operation | Sequence[Operation], block: Block) -> None:
+        for op in _as_list(ops):
+            block.add_op(op)
+        self.has_done_action = True
+
+    def insert_op_at_start(
+        self, ops: Operation | Sequence[Operation], block: Block
+    ) -> None:
+        for index, op in enumerate(_as_list(ops)):
+            block.insert_op(op, index)
+        self.has_done_action = True
+
+    # ------------------------------------------------------------------ #
+    # Replacement / erasure
+    # ------------------------------------------------------------------ #
+
+    def replace_matched_op(
+        self,
+        new_ops: Operation | Sequence[Operation],
+        new_results: Sequence[SSAValue | None] | None = None,
+    ) -> None:
+        self.replace_op(self.current_op, new_ops, new_results)
+
+    def replace_op(
+        self,
+        op: Operation,
+        new_ops: Operation | Sequence[Operation],
+        new_results: Sequence[SSAValue | None] | None = None,
+    ) -> None:
+        """Replace ``op`` with ``new_ops``.
+
+        The results of ``op`` are replaced by ``new_results`` if given,
+        otherwise by the results of the last new operation.
+        """
+        ops = _as_list(new_ops)
+        block = op.parent
+        assert block is not None, "cannot replace a detached op"
+        index = block.ops.index(op)
+        for offset, new_op in enumerate(ops):
+            block.insert_op(new_op, index + offset)
+
+        if new_results is None:
+            new_results = list(ops[-1].results) if ops else []
+        if len(new_results) != len(op.results):
+            raise VerifyException(
+                f"replacing '{op.name}': expected {len(op.results)} replacement "
+                f"values, got {len(new_results)}"
+            )
+        for old_result, new_value in zip(op.results, new_results):
+            if new_value is None:
+                if old_result.has_uses:
+                    raise VerifyException(
+                        f"replacing '{op.name}': result has uses but no replacement"
+                    )
+                continue
+            old_result.replace_all_uses_with(new_value)
+        op.erase()
+        self.has_done_action = True
+
+    def erase_matched_op(self) -> None:
+        self.erase_op(self.current_op)
+
+    def erase_op(self, op: Operation) -> None:
+        op.erase()
+        self.has_done_action = True
+
+    def replace_all_uses_with(self, old: SSAValue, new: SSAValue) -> None:
+        old.replace_all_uses_with(new)
+        self.has_done_action = True
+
+    # ------------------------------------------------------------------ #
+    # Region surgery
+    # ------------------------------------------------------------------ #
+
+    def inline_block_before(
+        self, block: Block, target: Operation, arg_values: Sequence[SSAValue] = ()
+    ) -> None:
+        """Move all ops of ``block`` before ``target``, mapping block args."""
+        if arg_values:
+            if len(arg_values) != len(block.args):
+                raise VerifyException(
+                    "inline_block_before: argument count mismatch "
+                    f"({len(arg_values)} values for {len(block.args)} args)"
+                )
+            for arg, value in zip(block.args, arg_values):
+                arg.replace_all_uses_with(value)
+        for op in list(block.ops):
+            op.detach()
+            assert target.parent is not None
+            target.parent.insert_op_before(op, target)
+        self.has_done_action = True
+
+    def move_region_contents_to_new_block(self, region: Region) -> Block:
+        """Detach the single block of ``region`` and return it."""
+        block = region.block
+        region.blocks.remove(block)
+        block.parent = None
+        self.has_done_action = True
+        return block
+
+
+def _as_list(ops: Operation | Sequence[Operation]) -> list[Operation]:
+    if isinstance(ops, Operation):
+        return [ops]
+    return list(ops)
+
+
+class RewritePattern:
+    """Base class for rewrite patterns.
+
+    Subclasses override :meth:`match_and_rewrite`; a pattern that does not
+    apply to the given op simply returns without calling any rewriter method.
+    """
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        raise NotImplementedError
+
+
+class TypedPattern(RewritePattern):
+    """A pattern that only fires on a specific operation class."""
+
+    op_type: type[Operation] = Operation
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if isinstance(op, self.op_type):
+            self.rewrite(op, rewriter)
+
+    def rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        raise NotImplementedError
+
+
+class GreedyRewritePatternApplier(RewritePattern):
+    """Applies the first matching pattern from an ordered list."""
+
+    def __init__(self, patterns: Iterable[RewritePattern]):
+        self.patterns = list(patterns)
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        for pattern in self.patterns:
+            pattern.match_and_rewrite(op, rewriter)
+            if rewriter.has_done_action:
+                return
+
+
+class PatternRewriteWalker:
+    """Drives a pattern over all ops of a module until a fixpoint.
+
+    Iterates in pre-order; after any change the walk restarts, up to
+    ``max_iterations`` times, which keeps the driver simple and predictable
+    for the moderately sized modules used here.
+    """
+
+    def __init__(
+        self,
+        pattern: RewritePattern,
+        *,
+        apply_recursively: bool = True,
+        max_iterations: int = 10_000,
+    ):
+        self.pattern = pattern
+        self.apply_recursively = apply_recursively
+        self.max_iterations = max_iterations
+
+    def rewrite_module(self, module: Operation) -> bool:
+        """Apply patterns until no more changes occur.  Returns True if the
+        module was modified at all."""
+        changed_any = False
+        for _ in range(self.max_iterations):
+            changed = self._single_sweep(module)
+            changed_any |= changed
+            if not changed or not self.apply_recursively:
+                return changed_any
+        raise VerifyException(
+            "pattern rewriting did not converge within "
+            f"{self.max_iterations} iterations"
+        )
+
+    def _single_sweep(self, module: Operation) -> bool:
+        for op in list(module.walk()):
+            # The op may have been detached by an earlier rewrite this sweep.
+            if op is not module and op.parent is None:
+                continue
+            rewriter = PatternRewriter(op)
+            self.pattern.match_and_rewrite(op, rewriter)
+            if rewriter.has_done_action:
+                return True
+        return False

@@ -1,0 +1,56 @@
+"""Shared helpers for tests and examples: compile, simulate and compare."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.numpy_ref import (
+    allocate_fields,
+    field_to_columns,
+    run_reference,
+)
+from repro.frontends.common import StencilProgram
+from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.wse.simulator import WseSimulator
+
+
+def random_initializer(seed: int = 7):
+    """A deterministic random interior initialiser for fields."""
+    rng = np.random.default_rng(seed)
+
+    def initializer(name, shape):
+        return rng.uniform(-1.0, 1.0, size=shape)
+
+    return initializer
+
+
+def simulate_against_reference(
+    program: StencilProgram,
+    options: PipelineOptions,
+    seed: int = 7,
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Compile and simulate the program, and run the NumPy reference.
+
+    Returns ``(simulated, reference)`` — both keyed by field name, both as
+    per-PE column arrays of shape ``(nx, ny, z_total)``.
+    """
+    result = compile_stencil_program(program, options)
+    simulator = WseSimulator(result.program_module)
+
+    fields = allocate_fields(program, random_initializer(seed))
+    reference_fields = {name: array.copy() for name, array in fields.items()}
+
+    for decl in program.fields:
+        simulator.load_field(
+            decl.name, field_to_columns(program, decl.name, fields[decl.name])
+        )
+
+    simulator.execute()
+    run_reference(program, reference_fields)
+
+    simulated = {decl.name: simulator.read_field(decl.name) for decl in program.fields}
+    reference = {
+        decl.name: field_to_columns(program, decl.name, reference_fields[decl.name])
+        for decl in program.fields
+    }
+    return simulated, reference

@@ -1,0 +1,26 @@
+"""Compiler transformations.
+
+The passes are organised following Section 5 of the paper:
+
+* optimisation passes: :mod:`~repro.transforms.stencil_inlining`,
+  :mod:`~repro.transforms.arith_to_varith`,
+  :mod:`~repro.transforms.varith_fuse_repeated_operands`,
+  :mod:`~repro.transforms.linalg_fuse_multiply_add`;
+* group 1 (decomposition & data dependencies):
+  :mod:`~repro.transforms.distribute_stencil`,
+  :mod:`~repro.transforms.tensorize_z`;
+* group 2 (placement & communication):
+  :mod:`~repro.transforms.stencil_to_csl_stencil`,
+  :mod:`~repro.transforms.csl_wrapper_hoist`;
+* group 3 (memory realisation):
+  :mod:`~repro.transforms.bufferize`,
+  :mod:`~repro.transforms.arith_to_linalg`;
+* group 4 (actor execution model):
+  :mod:`~repro.transforms.csl_stencil_to_tasks`,
+  :mod:`~repro.transforms.scf_to_task_graph`;
+* group 5 (lowering to csl-ir):
+  :mod:`~repro.transforms.linalg_to_csl`,
+  :mod:`~repro.transforms.memref_to_dsd`,
+  :mod:`~repro.transforms.lower_csl_wrapper`;
+* the full pipeline driver: :mod:`~repro.transforms.pipeline`.
+"""

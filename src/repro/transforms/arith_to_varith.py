@@ -1,0 +1,77 @@
+"""convert-arith-to-varith (paper Section 5.7).
+
+Collapses chains of binary ``arith.addf``/``arith.mulf`` into single variadic
+``varith.add``/``varith.mul`` operations.  The variadic form makes later
+passes (splitting local/remote computation, fusing repeated operands) much
+simpler to express.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import arith, varith
+from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir.operation import Operation
+from repro.ir.value import SSAValue
+
+
+class ArithToVarithPattern(RewritePattern):
+    """Turn one binary op into a variadic op (merging variadic operands)."""
+
+    _MAPPING = {
+        arith.AddfOp: varith.AddOp,
+        arith.MulfOp: varith.MulOp,
+    }
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        target = self._MAPPING.get(type(op))
+        if target is None:
+            return
+        assert isinstance(op, arith._BinaryOp)
+        operands = self._flatten(op.lhs, target) + self._flatten(op.rhs, target)
+        new_op = target(operands, op.result.type)
+        rewriter.replace_matched_op(new_op)
+
+    @staticmethod
+    def _flatten(value: SSAValue, target: type) -> list[SSAValue]:
+        """If the value is itself produced by the same variadic op with a
+        single use, absorb its operands; otherwise keep the value as is."""
+        owner = value.owner()
+        if isinstance(owner, target) and len(value.uses) == 1:
+            return list(owner.operands)
+        return [value]
+
+
+class MergeNestedVarithPattern(RewritePattern):
+    """Merge a varith op used once as an operand of a same-kind varith op."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if not isinstance(op, (varith.AddOp, varith.MulOp)):
+            return
+        for operand in op.operands:
+            owner = operand.owner()
+            if type(owner) is type(op) and len(operand.uses) == 1:
+                new_operands: list[SSAValue] = []
+                for value in op.operands:
+                    if value is operand:
+                        new_operands.extend(owner.operands)
+                    else:
+                        new_operands.append(value)
+                rewriter.replace_matched_op(type(op)(new_operands, op.result.type))
+                return
+
+
+class ArithToVarithPass(ModulePass):
+    name = "convert-arith-to-varith"
+
+    def apply(self, module: Operation) -> None:
+        from repro.ir.rewriting import GreedyRewritePatternApplier
+        from repro.transforms.canonicalize import RemoveDeadPureOps
+
+        pattern = GreedyRewritePatternApplier(
+            [
+                ArithToVarithPattern(),
+                MergeNestedVarithPattern(),
+                RemoveDeadPureOps(),
+            ]
+        )
+        PatternRewriteWalker(pattern).rewrite_module(module)

@@ -1,0 +1,106 @@
+"""Group 3 (a): partial bufferization (paper Section 5.3).
+
+Converts the value-semantics tensors used so far into reference-semantics
+memrefs: the accumulator becomes an allocated buffer, tensor types on region
+arguments and access results become memref types, and ``tensor.insert_slice``
+becomes a subview plus a copy.  Arithmetic op *forms* are converted to
+Destination-Passing-Style linalg by the follow-up pass
+:class:`repro.transforms.arith_to_linalg.ArithToLinalgPass`.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import csl_stencil, memref, stencil, tensor
+from repro.dialects import varith
+from repro.dialects import arith
+from repro.ir import ModulePass
+from repro.ir.operation import Operation
+from repro.ir.types import MemRefType, TensorType
+from repro.ir.value import SSAValue
+
+
+def _to_memref(type_) -> MemRefType:
+    assert isinstance(type_, TensorType)
+    return MemRefType(type_.shape, type_.element_type)
+
+
+class BufferizePass(ModulePass):
+    """Tensor-to-memref conversion of csl-stencil programs."""
+
+    name = "csl-stencil-bufferize"
+
+    def apply(self, module: Operation) -> None:
+        # Accumulator initialisers become explicit allocations.
+        for empty in list(module.walk_type(tensor.EmptyOp)):
+            assert isinstance(empty, tensor.EmptyOp)
+            alloc = memref.AllocOp(_to_memref(empty.result.type))
+            assert empty.parent is not None
+            empty.parent.insert_op_before(alloc, empty)
+            empty.result.replace_all_uses_with(alloc.result)
+            empty.erase()
+
+        # Prefetched remote buffers are reference-semantics buffers.
+        for prefetch in module.walk_type(csl_stencil.PrefetchOp):
+            assert isinstance(prefetch, csl_stencil.PrefetchOp)
+            if isinstance(prefetch.result.type, TensorType):
+                prefetch.result.type = _to_memref(prefetch.result.type)
+
+        for apply_op in module.walk_type(csl_stencil.ApplyOp):
+            assert isinstance(apply_op, csl_stencil.ApplyOp)
+            self._bufferize_apply(apply_op)
+
+    # ------------------------------------------------------------------ #
+
+    def _bufferize_apply(self, apply_op: csl_stencil.ApplyOp) -> None:
+        for region in apply_op.regions:
+            block = region.block
+            for arg in block.args:
+                if isinstance(arg.type, TensorType):
+                    arg.type = _to_memref(arg.type)
+                elif isinstance(arg.type, (stencil.TempType, stencil.FieldType)):
+                    element = arg.type.element_type
+                    if isinstance(element, TensorType):
+                        arg.type = type(arg.type)(arg.type.bounds, _to_memref(element))
+
+            for op in list(block.walk()):
+                self._bufferize_op(op)
+
+        # The result of the apply keeps its stencil.temp type but its element
+        # becomes a memref as well, so downstream stores see buffers.
+        for result in apply_op.results:
+            if isinstance(result.type, stencil.TempType) and isinstance(
+                result.type.element_type, TensorType
+            ):
+                result.type = stencil.TempType(
+                    result.type.bounds, _to_memref(result.type.element_type)
+                )
+
+    def _bufferize_op(self, op: Operation) -> None:
+        if isinstance(op, csl_stencil.AccessOp):
+            if isinstance(op.result.type, TensorType):
+                op.result.type = _to_memref(op.result.type)
+            return
+
+        if isinstance(op, (varith.AddOp, varith.MulOp, arith._BinaryOp)):
+            for result in op.results:
+                if isinstance(result.type, TensorType):
+                    result.type = _to_memref(result.type)
+            return
+
+        if isinstance(op, tensor.InsertSliceOp):
+            destination = op.dest
+            result_type = MemRefType([op.size], _element_type(destination.type))
+            subview = memref.SubviewOp(destination, op.offset, op.size, result_type)
+            copy = memref.CopyOp(op.source, subview.result)
+            assert op.parent is not None
+            op.parent.insert_op_before(subview, op)
+            op.parent.insert_op_before(copy, op)
+            op.results[0].replace_all_uses_with(destination)
+            op.erase()
+            return
+
+
+def _element_type(buffer_type) -> object:
+    if isinstance(buffer_type, (TensorType, MemRefType)):
+        return buffer_type.element_type
+    raise TypeError(f"expected a shaped type, got {buffer_type}")

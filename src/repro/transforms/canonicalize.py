@@ -1,0 +1,75 @@
+"""Canonicalisation: dead-code elimination and trivial foldings.
+
+Run between major pipeline stages to clean up ops left dead by rewrites.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import arith, varith
+from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir.operation import Operation
+from repro.ir.traits import Pure
+
+
+class RemoveDeadPureOps(RewritePattern):
+    """Erase side-effect-free operations whose results are unused."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if Pure not in op.traits:
+            return
+        if not op.results:
+            return
+        if any(result.has_uses for result in op.results):
+            return
+        rewriter.erase_matched_op()
+
+
+class FoldConstantArith(RewritePattern):
+    """Constant-fold binary float arithmetic over two constants."""
+
+    _FOLDERS = {
+        arith.AddfOp: lambda a, b: a + b,
+        arith.SubfOp: lambda a, b: a - b,
+        arith.MulfOp: lambda a, b: a * b,
+        arith.DivfOp: lambda a, b: a / b,
+    }
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        folder = self._FOLDERS.get(type(op))
+        if folder is None:
+            return
+        assert isinstance(op, arith._BinaryOp)
+        lhs, rhs = op.lhs.owner(), op.rhs.owner()
+        if not (isinstance(lhs, arith.ConstantOp) and isinstance(rhs, arith.ConstantOp)):
+            return
+        folded = arith.ConstantOp(folder(lhs.value, rhs.value), op.result.type)
+        rewriter.replace_matched_op(folded)
+
+
+class FlattenSingleOperandVarith(RewritePattern):
+    """``varith.add(%x)`` is just ``%x``."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if not isinstance(op, (varith.AddOp, varith.MulOp)):
+            return
+        if len(op.operands) != 1:
+            return
+        rewriter.replace_matched_op([], new_results=[op.operands[0]])
+
+
+class CanonicalizePass(ModulePass):
+    """DCE plus local foldings, applied to a fixpoint."""
+
+    name = "canonicalize"
+
+    def apply(self, module: Operation) -> None:
+        from repro.ir.rewriting import GreedyRewritePatternApplier
+
+        pattern = GreedyRewritePatternApplier(
+            [
+                FoldConstantArith(),
+                FlattenSingleOperandVarith(),
+                RemoveDeadPureOps(),
+            ]
+        )
+        PatternRewriteWalker(pattern).rewrite_module(module)

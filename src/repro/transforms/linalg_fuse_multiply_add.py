@@ -1,0 +1,77 @@
+"""linalg-fuse-multiply-add (paper Section 5.7).
+
+Identifies a multiplication whose result immediately feeds an addition (or
+vice versa) and fuses the pair into ``linalg.fma``, which group 5 lowers to
+the ``@fmacs`` CSL builtin.  Multiplication-followed-by-addition is the
+dominant pattern in stencil reductions, so this conversion accounts for a
+large share of the generated DSD instructions.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import linalg, memref
+from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir.operation import Operation
+
+
+class FuseScaleIntoAdd(RewritePattern):
+    """``scale(x, c, t); add(ins(t, y), outs(d))`` -> ``fma(x, c, y, d)``.
+
+    The scaled temporary must have no other readers.
+    """
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if not isinstance(op, linalg.AddOp):
+            return
+        for scaled_index, other_index in ((0, 1), (1, 0)):
+            scaled = op.inputs[scaled_index]
+            other = op.inputs[other_index]
+            producer = self._single_scale_writer(scaled, op)
+            if producer is None:
+                continue
+            fma = linalg.FmaOp(producer.input, producer.scalar, other, op.output)
+            rewriter.replace_matched_op(fma, new_results=[])
+            # The scaled temporary may now be dead.
+            if not any(
+                use.operation is not producer for use in scaled.uses
+            ):
+                buffer_owner = scaled.owner()
+                rewriter.erase_op(producer)
+                if isinstance(buffer_owner, memref.AllocOp) and not buffer_owner.result.has_uses:
+                    rewriter.erase_op(buffer_owner)
+            return
+
+    @staticmethod
+    def _single_scale_writer(value, consumer) -> linalg.ScaleOp | None:
+        """The unique linalg.scale writing ``value``, if the only other use of
+        ``value`` is ``consumer`` reading it."""
+        writers = [
+            use.operation
+            for use in value.uses
+            if isinstance(use.operation, linalg.ScaleOp)
+            and use.operation.output is value
+        ]
+        if len(writers) != 1:
+            return None
+        readers = [
+            use.operation
+            for use in value.uses
+            if use.operation is not writers[0]
+        ]
+        if any(reader is not consumer for reader in readers):
+            return None
+        # The scale must appear before the add in the same block.
+        writer = writers[0]
+        if writer.parent is None or writer.parent is not consumer.parent:
+            return None
+        ops = writer.parent.ops
+        if ops.index(writer) > ops.index(consumer):
+            return None
+        return writer
+
+
+class LinalgFuseMultiplyAddPass(ModulePass):
+    name = "linalg-fuse-multiply-add"
+
+    def apply(self, module: Operation) -> None:
+        PatternRewriteWalker(FuseScaleIntoAdd()).rewrite_module(module)

@@ -1,0 +1,161 @@
+"""The full lowering pipeline (paper Figure 3).
+
+``compile_stencil_program`` drives a :class:`repro.frontends.common.StencilProgram`
+through every stage described in Section 5 and returns the final csl-ir
+module, from which CSL code is printed (:mod:`repro.backend.csl_printer`) or
+an executable PE program is built (:mod:`repro.backend.executable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dialects.builtin import ModuleOp
+from repro.frontends.common import StencilProgram, build_stencil_module
+from repro.ir import PassManager
+from repro.ir.operation import Operation
+from repro.transforms.arith_to_linalg import ArithToLinalgPass
+from repro.transforms.arith_to_varith import ArithToVarithPass
+from repro.transforms.bufferize import BufferizePass
+from repro.transforms.canonicalize import CanonicalizePass
+from repro.transforms.csl_stencil_to_tasks import CslStencilToTasksPass
+from repro.transforms.csl_wrapper_hoist import CslWrapperHoistPass
+from repro.transforms.distribute_stencil import DistributeStencilPass
+from repro.transforms.linalg_fuse_multiply_add import LinalgFuseMultiplyAddPass
+from repro.transforms.linalg_to_csl import LinalgToCslPass
+from repro.transforms.lower_csl_wrapper import LowerCslWrapperPass
+from repro.transforms.memory_optimization import MemoryOptimizationPass
+from repro.transforms.memref_to_dsd import MemrefToDsdPass
+from repro.transforms.scf_to_task_graph import ScfToTaskGraphPass
+from repro.transforms.stencil_inlining import StencilInliningPass
+from repro.transforms.stencil_to_csl_stencil import StencilToCslStencilPass
+from repro.transforms.tensorize_z import TensorizeZDimensionPass
+from repro.transforms.varith_fuse_repeated_operands import (
+    VarithFuseRepeatedOperandsPass,
+)
+
+
+@dataclass
+class PipelineOptions:
+    """Tunable knobs of the lowering pipeline."""
+
+    #: PE grid extent the stencil is decomposed over (x then y).
+    grid_width: int = 1
+    grid_height: int = 1
+    #: requested number of communication chunks per exchange.
+    num_chunks: int = 2
+    #: "wse2" or "wse3" — selects the communications library variant.
+    target: str = "wse2"
+    #: run the stencil-inlining optimisation (Section 5.7).
+    enable_stencil_inlining: bool = True
+    #: run varith-fuse-repeated-operands (Section 5.7).
+    enable_varith_fusion: bool = True
+    #: run the fmacs fusion (Section 5.7).
+    enable_fmac_fusion: bool = True
+    #: run in-place accumulation / copy forwarding (memory reuse).
+    enable_memory_optimization: bool = True
+    #: verify the module after every pass (slower, useful in tests).
+    verify_each: bool = True
+
+
+def build_pass_pipeline(options: PipelineOptions) -> PassManager:
+    """The pass list of Figure 3, in order."""
+    manager = PassManager(verify_each=options.verify_each)
+
+    # Optimisations on the mathematical form.
+    if options.enable_stencil_inlining:
+        manager.add(StencilInliningPass())
+    manager.add(ArithToVarithPass())
+    if options.enable_varith_fusion:
+        manager.add(VarithFuseRepeatedOperandsPass())
+    manager.add(CanonicalizePass())
+
+    # Group 1: decomposition and data dependencies.
+    manager.add(
+        DistributeStencilPass(
+            topology_x=options.grid_width, topology_y=options.grid_height
+        )
+    )
+    manager.add(TensorizeZDimensionPass())
+
+    # Group 2: placement and communication.
+    manager.add(StencilToCslStencilPass(num_chunks=options.num_chunks))
+    manager.add(
+        CslWrapperHoistPass(
+            width=options.grid_width,
+            height=options.grid_height,
+            target=options.target,
+        )
+    )
+
+    # Group 3: memory realisation within a PE.
+    manager.add(BufferizePass())
+    manager.add(ArithToLinalgPass())
+    if options.enable_memory_optimization:
+        manager.add(MemoryOptimizationPass())
+    if options.enable_fmac_fusion:
+        manager.add(LinalgFuseMultiplyAddPass())
+
+    # Group 4: actor execution model.
+    manager.add(ScfToTaskGraphPass())
+    manager.add(CslStencilToTasksPass())
+
+    # Group 5: lowering to csl-ir.
+    manager.add(LinalgToCslPass())
+    manager.add(MemrefToDsdPass())
+    manager.add(LowerCslWrapperPass())
+    return manager
+
+
+@dataclass
+class CompilationResult:
+    """The artefacts of one pipeline run."""
+
+    module: ModuleOp
+    options: PipelineOptions
+    program: StencilProgram
+
+    @property
+    def csl_modules(self):
+        from repro.dialects import csl
+
+        return [op for op in self.module.ops if isinstance(op, csl.CslModuleOp)]
+
+    @property
+    def program_module(self):
+        from repro.dialects import csl
+
+        for op in self.csl_modules:
+            if op.kind == csl.ModuleKind.PROGRAM:
+                return op
+        raise LookupError("compilation produced no program module")
+
+    @property
+    def layout_module(self):
+        from repro.dialects import csl
+
+        for op in self.csl_modules:
+            if op.kind == csl.ModuleKind.LAYOUT:
+                return op
+        raise LookupError("compilation produced no layout module")
+
+
+def compile_stencil_program(
+    program: StencilProgram, options: PipelineOptions | None = None
+) -> CompilationResult:
+    """Run the full pipeline: stencil program description -> csl-ir module."""
+    if options is None:
+        nx, ny, _ = program.interior_shape
+        options = PipelineOptions(grid_width=nx, grid_height=ny)
+    module = build_stencil_module(program)
+    module.verify()
+    pipeline = build_pass_pipeline(options)
+    pipeline.run(module)
+    return CompilationResult(module=module, options=options, program=program)
+
+
+def compile_module(module: ModuleOp, options: PipelineOptions) -> ModuleOp:
+    """Run the full pipeline over an already-built stencil-dialect module."""
+    pipeline = build_pass_pipeline(options)
+    pipeline.run(module)
+    return module

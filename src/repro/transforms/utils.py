@@ -1,0 +1,110 @@
+"""Shared helpers for stencil analysis used across multiple passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.dialects import stencil
+from repro.ir.operation import Operation
+
+
+#: canonical ordering of the four cardinal directions on the PE grid.
+CARDINAL_DIRECTIONS: tuple[tuple[int, int], ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+@dataclass
+class StencilShape:
+    """Summary of the access pattern of one stencil.apply body."""
+
+    #: all distinct access offsets (full rank as written in the IR).
+    offsets: tuple[tuple[int, ...], ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.offsets[0]) if self.offsets else 0
+
+    @property
+    def radius(self) -> int:
+        """The maximum absolute offset component (the star radius)."""
+        radius = 0
+        for offset in self.offsets:
+            for component in offset:
+                radius = max(radius, abs(component))
+        return radius
+
+    @property
+    def xy_radius(self) -> int:
+        """Maximum absolute offset in the first two (decomposed) dimensions."""
+        radius = 0
+        for offset in self.offsets:
+            for component in offset[:2]:
+                radius = max(radius, abs(component))
+        return radius
+
+    def is_star_shaped(self) -> bool:
+        """True if every offset lies on a single axis (no diagonals)."""
+        for offset in self.offsets:
+            if sum(1 for component in offset if component != 0) > 1:
+                return False
+        return True
+
+    @property
+    def num_points(self) -> int:
+        return len(self.offsets)
+
+    def remote_offsets(self) -> tuple[tuple[int, ...], ...]:
+        """Offsets requiring communication (non-zero in the x/y plane)."""
+        return tuple(
+            offset for offset in self.offsets if any(c != 0 for c in offset[:2])
+        )
+
+    def local_offsets(self) -> tuple[tuple[int, ...], ...]:
+        """Offsets resolved from PE-local memory (zero in the x/y plane)."""
+        return tuple(
+            offset for offset in self.offsets if all(c == 0 for c in offset[:2])
+        )
+
+
+def analyze_apply(apply_op: stencil.ApplyOp) -> StencilShape:
+    """Collect the access pattern of a ``stencil.apply`` body."""
+    offsets: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    for access in apply_op.walk_type(stencil.AccessOp):
+        assert isinstance(access, stencil.AccessOp)
+        if access.offset not in seen:
+            seen.add(access.offset)
+            offsets.append(access.offset)
+    return StencilShape(offsets=tuple(offsets))
+
+
+def remote_directions(
+    offsets: Iterable[tuple[int, ...]]
+) -> tuple[tuple[int, int], ...]:
+    """Distinct remote (x, y) offsets in a stable, canonical order.
+
+    Orders by the cardinal direction first (E, W, N, S), then by distance,
+    matching the ordering the runtime communications library uses to pack the
+    receive buffer.
+    """
+    remote: set[tuple[int, int]] = set()
+    for offset in offsets:
+        dx, dy = (offset[0], offset[1]) if len(offset) >= 2 else (offset[0], 0)
+        if (dx, dy) != (0, 0):
+            remote.add((dx, dy))
+
+    def sort_key(direction: tuple[int, int]) -> tuple[int, int]:
+        dx, dy = direction
+        unit = (1 if dx > 0 else -1 if dx < 0 else 0, 1 if dy > 0 else -1 if dy < 0 else 0)
+        cardinal_rank = CARDINAL_DIRECTIONS.index(unit)
+        distance = abs(dx) + abs(dy)
+        return (cardinal_rank, distance)
+
+    return tuple(sorted(remote, key=sort_key))
+
+
+def direction_index(
+    direction: tuple[int, int], directions: Sequence[tuple[int, int]]
+) -> int:
+    """Index of a remote (x, y) offset within the canonical direction list."""
+    return list(directions).index(tuple(direction))

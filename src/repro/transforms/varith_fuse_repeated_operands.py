@@ -1,0 +1,58 @@
+"""varith-fuse-repeated-operands (paper Section 5.7).
+
+Rewrites a variadic addition that contains the same operand ``n`` times into
+a single multiplication of that operand by the constant ``n`` (combined with
+the remaining terms).  On the Acoustic kernel this replaces three DSD
+additions with one multiplication.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.dialects import arith, varith
+from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir.operation import Operation
+from repro.ir.types import f32
+from repro.ir.value import SSAValue
+
+
+class FuseRepeatedOperandsPattern(RewritePattern):
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if not isinstance(op, varith.AddOp):
+            return
+        counts = Counter(id(operand) for operand in op.operands)
+        if all(count == 1 for count in counts.values()):
+            return
+
+        by_id: dict[int, SSAValue] = {id(operand): operand for operand in op.operands}
+        new_operands: list[SSAValue] = []
+        new_ops: list[Operation] = []
+        seen: set[int] = set()
+        for operand in op.operands:
+            key = id(operand)
+            if key in seen:
+                continue
+            seen.add(key)
+            count = counts[key]
+            if count == 1:
+                new_operands.append(operand)
+                continue
+            constant = arith.ConstantOp(float(count), f32)
+            multiply = varith.MulOp([by_id[key], constant.result], operand.type)
+            new_ops.extend([constant, multiply])
+            new_operands.append(multiply.result)
+
+        if len(new_operands) == 1:
+            rewriter.insert_op_before_matched_op(new_ops)
+            rewriter.replace_matched_op([], new_results=[new_operands[0]])
+        else:
+            replacement = varith.AddOp(new_operands, op.result.type)
+            rewriter.replace_matched_op([*new_ops, replacement])
+
+
+class VarithFuseRepeatedOperandsPass(ModulePass):
+    name = "varith-fuse-repeated-operands"
+
+    def apply(self, module: Operation) -> None:
+        PatternRewriteWalker(FuseRepeatedOperandsPattern()).rewrite_module(module)

@@ -1,0 +1,22 @@
+"""The Wafer-Scale Engine substrate.
+
+The paper evaluates on real Cerebras CS-2 / CS-3 systems; this package is the
+substitution documented in DESIGN.md:
+
+* :mod:`repro.wse.machine` — published machine parameters of the WSE2/WSE3
+  (PE counts, clock, memory and fabric bandwidth, per-PE SRAM);
+* :mod:`repro.wse.dsd`, :mod:`repro.wse.pe` — Data Structure Descriptors and
+  per-PE state (buffers, variables, task queue);
+* :mod:`repro.wse.interpreter` — executes the generated csl-ir PE program;
+* :mod:`repro.wse.runtime` — the chunked, star-shaped halo-exchange runtime
+  (Section 5.6) driving receive/done callbacks;
+* :mod:`repro.wse.simulator` — the fabric simulator: a 2-D grid of PEs run to
+  completion in delivery rounds;
+* :mod:`repro.wse.perf_model` — the analytic per-PE cycle model used to
+  extrapolate throughput to the paper's problem sizes.
+"""
+
+from repro.wse.machine import WSE2, WSE3, WseMachineSpec
+from repro.wse.simulator import WseSimulator
+
+__all__ = ["WSE2", "WSE3", "WseMachineSpec", "WseSimulator"]

@@ -1,0 +1,37 @@
+"""Data Structure Descriptors as seen by the simulator.
+
+A DSD is an affine iterator over a PE-local buffer: ``(buffer, offset,
+length, stride)``.  The DSD compute builtins resolve them to NumPy views of
+the owning PE's buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dsd:
+    """A 1-D memory DSD."""
+
+    buffer: str
+    offset: int
+    length: int
+    stride: int = 1
+
+    def shifted(self, extra_offset: int) -> "Dsd":
+        return Dsd(self.buffer, self.offset + extra_offset, self.length, self.stride)
+
+    def resolve(self, buffers: dict[str, np.ndarray]) -> np.ndarray:
+        """A writable NumPy view of the described elements."""
+        array = buffers[self.buffer]
+        stop = self.offset + self.length * self.stride
+        view = array[self.offset : stop : self.stride]
+        if view.shape[0] != self.length:
+            raise IndexError(
+                f"DSD over '{self.buffer}' out of range: offset={self.offset} "
+                f"length={self.length} stride={self.stride} buffer={array.shape[0]}"
+            )
+        return view

@@ -1,0 +1,299 @@
+"""Interpreter for generated csl-ir PE programs.
+
+Executes the *final* output of the compilation pipeline — the csl-ir program
+module — against one PE's state.  Only the constructs the pipeline generates
+are supported; anything else raises :class:`InterpretationError`, which keeps
+the interpreter honest as a functional model of the generated CSL.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.dialects import arith, csl, scf
+from repro.ir.attributes import IntAttr, StringAttr
+from repro.ir.exceptions import InterpretationError
+from repro.ir.operation import Block, Operation
+from repro.ir.value import SSAValue
+from repro.wse.dsd import Dsd
+from repro.wse.pe import ActivatedTask, PendingExchange, ProcessingElement
+
+
+class ProgramImage:
+    """Pre-processed view of a csl-ir program module."""
+
+    def __init__(self, program_module: "csl.CslModuleOp"):
+        if program_module.kind != csl.ModuleKind.PROGRAM:
+            raise InterpretationError("expected a csl program module")
+        self.module = program_module
+        self.callables: dict[str, Operation] = {}
+        self.buffers: dict[str, int] = {}
+        self.variables: dict[str, float] = {}
+        self.params: dict[str, int] = {}
+        self.entry = "f_main"
+
+        for op in program_module.ops:
+            if isinstance(op, (csl.FuncOp, csl.TaskOp)):
+                self.callables[op.sym_name] = op
+            elif isinstance(op, csl.ZerosOp):
+                name_attr = op.attributes.get("sym_name")
+                if isinstance(name_attr, StringAttr):
+                    self.buffers[name_attr.data] = op.buffer_type.element_count()
+            elif isinstance(op, csl.VariableOp):
+                self.variables[op.sym_name] = op.init
+            elif isinstance(op, csl.ParamOp):
+                if op.default is not None:
+                    self.params[op.param_name] = int(op.default)
+
+        entry_attr = program_module.attributes.get("entry")
+        if isinstance(entry_attr, StringAttr):
+            self.entry = entry_attr.data
+
+    @property
+    def width(self) -> int:
+        attr = self.module.attributes.get("width")
+        return attr.value if isinstance(attr, IntAttr) else 1
+
+    @property
+    def height(self) -> int:
+        attr = self.module.attributes.get("height")
+        return attr.value if isinstance(attr, IntAttr) else 1
+
+    def task_by_id(self, task_id: int) -> "csl.TaskOp | None":
+        for op in self.callables.values():
+            if isinstance(op, csl.TaskOp) and op.task_id == task_id:
+                return op
+        return None
+
+
+class PeInterpreter:
+    """Executes csl-ir callables against one PE's state."""
+
+    def __init__(self, image: ProgramImage, pe: ProcessingElement):
+        self.image = image
+        self.pe = pe
+
+    # ------------------------------------------------------------------ #
+
+    def initialise(self) -> None:
+        """Allocate module buffers and variables on the PE."""
+        for name, size in self.image.buffers.items():
+            self.pe.allocate(name, size)
+        for name, init in self.image.variables.items():
+            self.pe.variables.setdefault(name, init)
+
+    def run_callable(self, name: str, argument: Any = None) -> None:
+        callable_op = self.image.callables.get(name)
+        if callable_op is None:
+            raise InterpretationError(f"unknown function or task '{name}'")
+        block = callable_op.regions[0].blocks[0]
+        env: dict[int, Any] = {}
+        if block.args:
+            env[id(block.args[0])] = argument if argument is not None else 0
+        self.pe.counters["tasks_run"] += 1
+        self._run_block(block, env)
+
+    def run_pending_tasks(self) -> None:
+        """Drain the PE's task queue (tasks may activate further tasks)."""
+        while self.pe.task_queue and not self.pe.halted:
+            task = self.pe.task_queue.popleft()
+            self.run_callable(task.name, task.argument)
+
+    # ------------------------------------------------------------------ #
+
+    def _run_block(self, block: Block, env: dict[int, Any]) -> None:
+        for op in block.ops:
+            if isinstance(op, (csl.ReturnOp, scf.YieldOp)):
+                return
+            self._execute(op, env)
+
+    def _value(self, value: SSAValue, env: dict[int, Any]) -> Any:
+        if id(value) in env:
+            return env[id(value)]
+        raise InterpretationError(
+            f"use of a value that was never defined while interpreting "
+            f"(type {value.type})"
+        )
+
+    def _resolve(self, value: SSAValue, env: dict[int, Any]) -> Any:
+        """Resolve a value to either a scalar or a NumPy view."""
+        resolved = self._value(value, env)
+        if isinstance(resolved, Dsd):
+            return resolved.resolve(self.pe.buffers)
+        return resolved
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, op: Operation, env: dict[int, Any]) -> None:
+        handler = _HANDLERS.get(type(op))
+        if handler is None:
+            raise InterpretationError(f"unsupported operation '{op.name}'")
+        handler(self, op, env)
+
+
+# --------------------------------------------------------------------------- #
+# Handlers
+# --------------------------------------------------------------------------- #
+
+
+def _handle_constant(interp: PeInterpreter, op, env) -> None:
+    env[id(op.results[0])] = op.value
+
+
+def _handle_load_var(interp: PeInterpreter, op: csl.LoadVarOp, env) -> None:
+    env[id(op.result)] = interp.pe.variables.get(op.var, 0)
+
+
+def _handle_store_var(interp: PeInterpreter, op: csl.StoreVarOp, env) -> None:
+    interp.pe.variables[op.var] = interp._value(op.value, env)
+
+
+def _binary_int(operation):
+    def handler(interp: PeInterpreter, op, env) -> None:
+        lhs = interp._value(op.lhs, env)
+        rhs = interp._value(op.rhs, env)
+        env[id(op.result)] = operation(lhs, rhs)
+
+    return handler
+
+
+def _handle_cmpi(interp: PeInterpreter, op: arith.CmpiOp, env) -> None:
+    lhs = interp._value(op.lhs, env)
+    rhs = interp._value(op.rhs, env)
+    predicate = op.predicate
+    comparisons = {
+        "eq": lhs == rhs,
+        "ne": lhs != rhs,
+        "slt": lhs < rhs,
+        "sle": lhs <= rhs,
+        "sgt": lhs > rhs,
+        "sge": lhs >= rhs,
+    }
+    env[id(op.result)] = bool(comparisons[predicate])
+
+
+def _handle_if(interp: PeInterpreter, op: scf.IfOp, env) -> None:
+    condition = interp._value(op.condition, env)
+    region = op.then_region if condition else op.else_region
+    if region.blocks and region.blocks[0].ops:
+        interp._run_block(region.blocks[0], env)
+
+
+def _handle_call(interp: PeInterpreter, op: csl.CallOp, env) -> None:
+    interp.run_callable(op.callee)
+
+
+def _handle_activate(interp: PeInterpreter, op: csl.ActivateOp, env) -> None:
+    interp.pe.activate(ActivatedTask(op.task_name))
+
+
+def _handle_get_mem_dsd(interp: PeInterpreter, op: csl.GetMemDsdOp, env) -> None:
+    buffer_attr = op.attributes.get("buffer")
+    if isinstance(buffer_attr, StringAttr):
+        buffer_name = buffer_attr.data
+    elif op.operands:
+        source = interp._value(op.operands[0], env)
+        if not isinstance(source, Dsd):
+            raise InterpretationError("csl.get_mem_dsd operand is not a DSD")
+        buffer_name = source.buffer
+    else:
+        raise InterpretationError("csl.get_mem_dsd has neither buffer nor operand")
+    env[id(op.result)] = Dsd(buffer_name, op.offset, op.length, op.stride)
+
+
+def _handle_increment_dsd(
+    interp: PeInterpreter, op: csl.IncrementDsdOffsetOp, env
+) -> None:
+    base = interp._value(op.operands[0], env)
+    if not isinstance(base, Dsd):
+        raise InterpretationError("csl.increment_dsd_offset operand is not a DSD")
+    extra = op.offset
+    if len(op.operands) > 1:
+        extra += int(interp._value(op.operands[1], env))
+    env[id(op.result)] = base.shifted(extra)
+
+
+def _dsd_builtin(compute):
+    def handler(interp: PeInterpreter, op, env) -> None:
+        dest_value = interp._value(op.dest, env)
+        if not isinstance(dest_value, Dsd):
+            raise InterpretationError(f"'{op.name}' destination is not a DSD")
+        dest = dest_value.resolve(interp.pe.buffers)
+        sources = [interp._resolve(source, env) for source in op.sources]
+        dest[:] = compute(dest, *sources)
+        interp.pe.counters["dsd_ops"] += 1
+        interp.pe.counters["dsd_elements"] = (
+            interp.pe.counters.get("dsd_elements", 0) + int(dest.shape[0])
+        )
+
+    return handler
+
+
+def _handle_comms_exchange(
+    interp: PeInterpreter, op: csl.CommsExchangeOp, env
+) -> None:
+    buffer_value = interp._value(op.buffer, env)
+    if not isinstance(buffer_value, Dsd):
+        raise InterpretationError("csl.comms_exchange buffer operand is not a DSD")
+    attributes = op.attributes
+    src_offset = attributes["src_offset"].value  # type: ignore[union-attr]
+    src_len = attributes["src_len"].value  # type: ignore[union-attr]
+    chunk_size = attributes["chunk_size"].value  # type: ignore[union-attr]
+    recv_buffer = op.attributes["recv_buffer"].string_value  # type: ignore[union-attr]
+
+    interp.pe.counters["exchanges"] += 1
+    interp.pe.pending_exchange = PendingExchange(
+        source_buffer=buffer_value.buffer,
+        source_offset=src_offset,
+        source_length=src_len,
+        chunk_size=chunk_size,
+        num_chunks=op.num_chunks,
+        directions=op.directions,
+        coefficients=op.coefficients,
+        receive_buffer=recv_buffer,
+        receive_callback=op.recv_callback,
+        done_callback=op.done_callback,
+    )
+
+
+def _handle_unblock(interp: PeInterpreter, op, env) -> None:
+    interp.pe.halted = True
+
+
+def _noop(interp: PeInterpreter, op, env) -> None:
+    return None
+
+
+_HANDLERS: dict[type, Any] = {
+    csl.ConstantOp: _handle_constant,
+    arith.ConstantOp: _handle_constant,
+    csl.LoadVarOp: _handle_load_var,
+    csl.StoreVarOp: _handle_store_var,
+    arith.AddiOp: _binary_int(lambda a, b: a + b),
+    arith.SubiOp: _binary_int(lambda a, b: a - b),
+    arith.MuliOp: _binary_int(lambda a, b: a * b),
+    arith.AddfOp: _binary_int(lambda a, b: a + b),
+    arith.SubfOp: _binary_int(lambda a, b: a - b),
+    arith.MulfOp: _binary_int(lambda a, b: a * b),
+    arith.DivfOp: _binary_int(lambda a, b: a / b),
+    arith.CmpiOp: _handle_cmpi,
+    scf.IfOp: _handle_if,
+    csl.CallOp: _handle_call,
+    csl.ActivateOp: _handle_activate,
+    csl.GetMemDsdOp: _handle_get_mem_dsd,
+    csl.IncrementDsdOffsetOp: _handle_increment_dsd,
+    csl.FaddsOp: _dsd_builtin(lambda dest, a, b: a + b),
+    csl.FsubsOp: _dsd_builtin(lambda dest, a, b: a - b),
+    csl.FmulsOp: _dsd_builtin(lambda dest, a, b: a * b),
+    csl.FmacsOp: _dsd_builtin(lambda dest, acc, src, coeff: acc + src * coeff),
+    csl.FmovsOp: _dsd_builtin(lambda dest, src: src),
+    csl.CommsExchangeOp: _handle_comms_exchange,
+    csl.UnblockCmdStreamOp: _handle_unblock,
+    csl.ImportModuleOp: _noop,
+    csl.ExportOp: _noop,
+    csl.RpcOp: _noop,
+    csl.MemberCallOp: _noop,
+    csl.MemberAccessOp: _noop,
+}

@@ -1,0 +1,103 @@
+"""The runtime communications library (paper Section 5.6), simulator side.
+
+Implements the partitionable, star-shaped, chunked halo exchange: when every
+PE of the fabric has scheduled its exchange, the runtime snapshots the data
+each PE sends (phase 1), then — per PE — delivers each chunk into the
+receive buffer, invokes the receive callback per chunk, and finally invokes
+the completion callback (phase 2).  PEs outside the grid contribute zeros
+(Dirichlet-zero halo).
+
+The two-phase structure guarantees every PE reads its neighbours' values as
+they were when the exchange was scheduled, which is exactly the semantics of
+the hardware exchange (all sends precede the local update of the field).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.wse.pe import ActivatedTask, PendingExchange, ProcessingElement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wse.interpreter import PeInterpreter
+
+
+class CommsRuntime:
+    """Delivers pending exchanges across the PE grid."""
+
+    def __init__(self, grid: list[list[ProcessingElement]]):
+        self.grid = grid
+        self.height = len(grid)
+        self.width = len(grid[0]) if grid else 0
+
+    # ------------------------------------------------------------------ #
+
+    def _neighbor_chunk(
+        self,
+        pe: ProcessingElement,
+        exchange: PendingExchange,
+        direction: tuple[int, int],
+        chunk_index: int,
+    ) -> np.ndarray:
+        """The chunk of the neighbour's column sent towards ``pe``.
+
+        An access at offset ``(+1, 0)`` reads the value of the eastern
+        neighbour, so the data is pulled from PE ``(x+1, y)``.
+        """
+        nx, ny = pe.x + direction[0], pe.y + direction[1]
+        start = exchange.source_offset + chunk_index * exchange.chunk_size
+        stop = start + exchange.chunk_size
+        if 0 <= nx < self.width and 0 <= ny < self.height:
+            neighbor = self.grid[ny][nx]
+            source = neighbor.buffers[exchange.source_buffer]
+            return source[start:stop].copy()
+        return np.zeros(exchange.chunk_size, dtype=np.float32)
+
+    # ------------------------------------------------------------------ #
+
+    def deliver_round(self, interpreters: dict[tuple[int, int], "PeInterpreter"]) -> int:
+        """Deliver every pending exchange.  Returns the number delivered."""
+        pending: list[tuple[ProcessingElement, PendingExchange]] = []
+        for row in self.grid:
+            for pe in row:
+                if pe.pending_exchange is not None:
+                    pending.append((pe, pe.pending_exchange))
+        if not pending:
+            return 0
+
+        # Phase 1: snapshot everything that will be received, before any
+        # callback mutates a buffer.
+        staged: dict[tuple[int, int], list[np.ndarray]] = {}
+        for pe, exchange in pending:
+            chunks: list[np.ndarray] = []
+            for chunk_index in range(exchange.num_chunks):
+                parts = []
+                for slot, direction in enumerate(exchange.directions):
+                    data = self._neighbor_chunk(pe, exchange, direction, chunk_index)
+                    if exchange.coefficients is not None:
+                        data = data * np.float32(exchange.coefficients[slot])
+                    parts.append(data)
+                chunks.append(np.concatenate(parts) if parts else np.zeros(0))
+                pe.counters["wavelets_sent"] += exchange.chunk_size * len(
+                    exchange.directions
+                )
+            staged[(pe.x, pe.y)] = chunks
+
+        # Phase 2: per PE, write chunks, run the receive callback per chunk,
+        # then queue the completion callback.
+        for pe, exchange in pending:
+            pe.pending_exchange = None
+            interpreter = interpreters[(pe.x, pe.y)]
+            receive_buffer = pe.buffers[exchange.receive_buffer]
+            for chunk_index, chunk_data in enumerate(staged[(pe.x, pe.y)]):
+                receive_buffer[: chunk_data.shape[0]] = chunk_data
+                if exchange.receive_callback:
+                    interpreter.run_callable(
+                        exchange.receive_callback,
+                        argument=chunk_index * exchange.chunk_size,
+                    )
+            if exchange.done_callback:
+                pe.activate(ActivatedTask(exchange.done_callback))
+        return len(pending)

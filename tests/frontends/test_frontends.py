@@ -1,0 +1,209 @@
+"""Unit tests for the three front-ends and the shared program description."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.numpy_ref import allocate_fields, run_reference, interior
+from repro.dialects import scf, stencil
+from repro.frontends.common import (
+    Add,
+    Constant,
+    FieldAccess,
+    FieldDecl,
+    Mul,
+    StencilEquation,
+    StencilProgram,
+    build_stencil_module,
+)
+from repro.frontends.devito_like import Eq, Grid, Operator, TimeFunction
+from repro.frontends.flang_like import FortranParseError, parse_fortran_stencil
+from repro.frontends.psyclone_like import (
+    AccessMode,
+    AlgorithmLayer,
+    FieldArgument,
+    Kernel,
+    KernelMetadata,
+)
+
+
+class TestExpressionAlgebra:
+    def test_operator_overloading_builds_trees(self):
+        a = FieldAccess("u", (0, 0, 0))
+        b = FieldAccess("u", (1, 0, 0))
+        expression = (a + b) * 0.5
+        assert isinstance(expression, Mul)
+        assert isinstance(expression.factors[0], Add)
+        assert isinstance(expression.factors[1], Constant)
+
+    def test_subtraction_lowered_to_add_of_negated(self):
+        a = FieldAccess("u", (0, 0, 0))
+        b = FieldAccess("u", (1, 0, 0))
+        expression = a - b
+        assert isinstance(expression, Add)
+
+    def test_accesses_enumerates_all_reads(self):
+        a = FieldAccess("u", (0, 0, 0))
+        b = FieldAccess("v", (1, 0, 0))
+        assert {access.field for access in (a + b * 2.0).accesses()} == {"u", "v"}
+
+
+class TestStencilModuleEmission:
+    def test_module_structure(self):
+        program = StencilProgram(
+            name="k",
+            fields=[FieldDecl("u", (4, 4, 8)), FieldDecl("v", (4, 4, 8))],
+            equations=[
+                StencilEquation("v", FieldAccess("u", (1, 0, 0)) + 1.0)
+            ],
+            time_steps=3,
+        )
+        module = build_stencil_module(program)
+        module.verify()
+        loops = list(module.walk_type(scf.ForOp))
+        assert len(loops) == 1
+        applies = list(module.walk_type(stencil.ApplyOp))
+        assert len(applies) == 1
+        accesses = list(module.walk_type(stencil.AccessOp))
+        assert [access.offset for access in accesses] == [(1, 0, 0)]
+
+    def test_field_types_carry_halo_bounds(self):
+        program = StencilProgram(
+            name="k",
+            fields=[FieldDecl("u", (4, 4, 8), halo=(2, 2, 2))],
+            equations=[StencilEquation("u", FieldAccess("u", (0, 0, 0)))],
+        )
+        module = build_stencil_module(program)
+        func_op = module.ops[0]
+        field_type = func_op.args[0].type
+        assert isinstance(field_type, stencil.FieldType)
+        assert field_type.bounds[0] == (-2, 6)
+
+
+class TestDevitoLikeFrontend:
+    def test_laplace_is_seven_point(self):
+        grid = Grid((4, 4, 8))
+        u = TimeFunction("u", grid)
+        offsets = {access.offset for access in u.laplace().accesses()}
+        assert len(offsets) == 7
+
+    def test_high_order_laplacian_point_count(self):
+        grid = Grid((4, 4, 8), halo=(4, 4, 4))
+        u = TimeFunction("u", grid, space_order=4)
+        expression = u.laplace_high_order(4, [1.0, 0.1, 0.2, 0.3, 0.4])
+        assert len({a.offset for a in expression.accesses()}) == 25
+
+    def test_high_order_requires_matching_coefficients(self):
+        u = TimeFunction("u", Grid((4, 4, 8)))
+        with pytest.raises(ValueError):
+            u.laplace_high_order(2, [1.0])
+
+    def test_operator_collects_fields(self):
+        grid = Grid((4, 4, 8))
+        u, v = TimeFunction("u", grid), TimeFunction("v", grid)
+        program = Operator([Eq(v, u.laplace())], time_steps=2).to_stencil_program()
+        assert {decl.name for decl in program.fields} == {"u", "v"}
+        assert program.time_steps == 2
+
+
+class TestFlangLikeFrontend:
+    def test_listing1_example(self):
+        source = """
+        do i = 2, 255
+          do j = 2, 255
+            do k = 2, 511
+              data(k,j,i) = (data(k,j,i) + data(k,j,i+1)) * 0.12345
+            enddo
+          enddo
+        enddo
+        """
+        program = parse_fortran_stencil(source)
+        assert program.fields[0].name == "data"
+        assert program.fields[0].shape == (254, 254, 510)
+        offsets = {a.offset for a in program.equations[0].expression.accesses()}
+        assert offsets == {(0, 0, 0), (1, 0, 0)}
+
+    def test_index_order_maps_innermost_loop_to_z(self):
+        source = """
+        do i = 1, 4
+          do j = 1, 4
+            do k = 1, 8
+              b(k,j,i) = a(k+1,j,i) * 2.0
+            enddo
+          enddo
+        enddo
+        """
+        program = parse_fortran_stencil(source)
+        offsets = {a.offset for a in program.equations[0].expression.accesses()}
+        assert offsets == {(0, 0, 1)}
+
+    def test_negative_constants_and_subtraction(self):
+        source = """
+        do i = 1, 4
+          do j = 1, 4
+            do k = 1, 8
+              b(k,j,i) = a(k,j,i) - a(k,j,i-1)
+            enddo
+          enddo
+        enddo
+        """
+        program = parse_fortran_stencil(source)
+        fields = {a.field for a in program.equations[0].expression.accesses()}
+        assert fields == {"a"}
+
+    def test_reports_unparseable_input(self):
+        with pytest.raises(FortranParseError):
+            parse_fortran_stencil("do i = 1, 4\nenddo")
+
+    def test_functional_against_reference(self):
+        source = """
+        do i = 1, 4
+          do j = 1, 4
+            do k = 1, 8
+              b(k,j,i) = (a(k,j,i) + a(k,j,i+1)) * 0.5
+            enddo
+          enddo
+        enddo
+        """
+        program = parse_fortran_stencil(source)
+        fields = allocate_fields(program, lambda name, shape: np.ones(shape))
+        run_reference(program, fields)
+        core = interior(program, "b", fields["b"])
+        # Interior cells average two ones -> 1; cells next to the x halo see a
+        # zero halo value -> 0.5.
+        assert np.isclose(core[0, 0, 0], 1.0)
+        assert np.isclose(core[-1, 0, 0], 0.5)
+
+
+class TestPsycloneLikeFrontend:
+    def test_metadata_written_and_read_fields(self):
+        metadata = KernelMetadata(
+            "k",
+            [
+                FieldArgument("a", AccessMode.READ, 1),
+                FieldArgument("b", AccessMode.WRITE),
+                FieldArgument("c", AccessMode.READWRITE),
+            ],
+        )
+        assert metadata.written_fields() == ["b", "c"]
+        assert metadata.read_fields() == ["a", "c"]
+
+    def test_missing_expression_is_reported(self):
+        metadata = KernelMetadata("k", [FieldArgument("b", AccessMode.WRITE)])
+        kernel = Kernel(metadata, {})
+        with pytest.raises(KeyError):
+            kernel.build_equations()
+
+    def test_algorithm_layer_collects_invokes(self):
+        metadata = KernelMetadata(
+            "k",
+            [
+                FieldArgument("a", AccessMode.READ, 1),
+                FieldArgument("b", AccessMode.WRITE),
+            ],
+        )
+        kernel = Kernel(metadata, {"b": lambda access: access("a", 1, 0, 0)})
+        program = (
+            AlgorithmLayer("alg", (4, 4, 8)).invoke(kernel).to_stencil_program()
+        )
+        assert {decl.name for decl in program.fields} == {"a", "b"}
+        assert len(program.equations) == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the attribute system."""
+
+import pytest
+
+from repro.ir import (
+    ArrayAttr,
+    BoolAttr,
+    DenseArrayAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntAttr,
+    StringAttr,
+    SymbolRefAttr,
+    UnitAttr,
+)
+
+
+class TestScalarAttributes:
+    def test_int_attr_equality(self):
+        assert IntAttr(3) == IntAttr(3)
+        assert IntAttr(3) != IntAttr(4)
+
+    def test_int_attr_hashable(self):
+        assert hash(IntAttr(3)) == hash(IntAttr(3))
+        assert len({IntAttr(1), IntAttr(1), IntAttr(2)}) == 2
+
+    def test_float_attr(self):
+        assert FloatAttr(0.12345) == FloatAttr(0.12345)
+        assert FloatAttr(1.0) != FloatAttr(2.0)
+        assert FloatAttr(1).value == 1.0
+
+    def test_bool_attr(self):
+        assert BoolAttr(True).value is True
+        assert BoolAttr(False) != BoolAttr(True)
+
+    def test_string_attr(self):
+        assert StringAttr("hello").data == "hello"
+        assert StringAttr("a") != StringAttr("b")
+
+    def test_unit_attr(self):
+        assert UnitAttr() == UnitAttr()
+
+    def test_different_types_never_equal(self):
+        assert IntAttr(1) != FloatAttr(1.0)
+        assert IntAttr(0) != BoolAttr(False)
+
+
+class TestSymbolRef:
+    def test_simple(self):
+        ref = SymbolRefAttr("kernel")
+        assert ref.string_value == "kernel"
+
+    def test_nested(self):
+        ref = SymbolRefAttr("module", ["inner", "fn"])
+        assert ref.string_value == "module.inner.fn"
+
+    def test_equality(self):
+        assert SymbolRefAttr("a") == SymbolRefAttr("a")
+        assert SymbolRefAttr("a") != SymbolRefAttr("b")
+
+
+class TestContainerAttributes:
+    def test_array_attr(self):
+        arr = ArrayAttr([IntAttr(1), IntAttr(2)])
+        assert len(arr) == 2
+        assert arr[0] == IntAttr(1)
+        assert list(arr) == [IntAttr(1), IntAttr(2)]
+
+    def test_array_attr_equality(self):
+        assert ArrayAttr([IntAttr(1)]) == ArrayAttr([IntAttr(1)])
+        assert ArrayAttr([IntAttr(1)]) != ArrayAttr([IntAttr(2)])
+
+    def test_dense_array(self):
+        dense = DenseArrayAttr([1, 0, -1])
+        assert dense.as_tuple() == (1, 0, -1)
+        assert len(dense) == 3
+        assert dense[2] == -1
+
+    def test_dense_array_floats(self):
+        dense = DenseArrayAttr([0.5, 1.5])
+        assert dense.as_tuple() == (0.5, 1.5)
+
+    def test_dictionary_attr(self):
+        d = DictionaryAttr({"width": IntAttr(10), "name": StringAttr("x")})
+        assert d["width"] == IntAttr(10)
+        assert "name" in d
+        assert d.get("missing") is None
+
+    def test_dictionary_equality_is_order_independent(self):
+        a = DictionaryAttr({"x": IntAttr(1), "y": IntAttr(2)})
+        b = DictionaryAttr({"y": IntAttr(2), "x": IntAttr(1)})
+        assert a == b

@@ -1,0 +1,133 @@
+"""Unit tests for operations, blocks, regions, and def-use chains."""
+
+import pytest
+
+from repro.dialects import arith
+from repro.dialects.builtin import ModuleOp
+from repro.ir import Block, Region, VerifyException, f32
+from repro.ir.operation import UnregisteredOp
+
+
+def make_add_chain():
+    """c0 = 1.0; c1 = 2.0; s = c0 + c1."""
+    c0 = arith.ConstantOp(1.0, f32)
+    c1 = arith.ConstantOp(2.0, f32)
+    add = arith.AddfOp(c0.result, c1.result)
+    module = ModuleOp([c0, c1, add])
+    return module, c0, c1, add
+
+
+class TestDefUse:
+    def test_operands_recorded(self):
+        _, c0, c1, add = make_add_chain()
+        assert add.operands == (c0.result, c1.result)
+
+    def test_uses_tracked(self):
+        _, c0, c1, add = make_add_chain()
+        assert c0.result.has_uses
+        assert add in list(c0.result.users())
+
+    def test_replace_all_uses_with(self):
+        _, c0, c1, add = make_add_chain()
+        c2 = arith.ConstantOp(3.0, f32)
+        c0.result.replace_all_uses_with(c2.result)
+        assert add.operands[0] is c2.result
+        assert not c0.result.has_uses
+        assert c2.result.has_uses
+
+    def test_drop_all_operands(self):
+        _, c0, c1, add = make_add_chain()
+        add.drop_all_operands()
+        assert not c0.result.has_uses
+        assert not c1.result.has_uses
+        assert add.operands == ()
+
+
+class TestBlocksAndRegions:
+    def test_module_ops_order(self):
+        module, c0, c1, add = make_add_chain()
+        assert module.ops == [c0, c1, add]
+
+    def test_parent_pointers(self):
+        module, c0, *_ = make_add_chain()
+        assert c0.parent is module.body
+        assert c0.parent_op() is module
+
+    def test_walk_visits_nested_ops(self):
+        module, c0, c1, add = make_add_chain()
+        visited = list(module.walk())
+        assert visited[0] is module
+        assert c0 in visited and add in visited
+
+    def test_insert_before_and_after(self):
+        module, c0, c1, add = make_add_chain()
+        extra = arith.ConstantOp(9.0, f32)
+        module.body.insert_op_before(extra, add)
+        assert module.ops.index(extra) == module.ops.index(add) - 1
+
+    def test_block_args(self):
+        block = Block(arg_types=[f32, f32])
+        assert len(block.args) == 2
+        assert block.args[1].index == 1
+
+    def test_single_block_region_accessor(self):
+        region = Region([Block(), Block()])
+        with pytest.raises(VerifyException):
+            _ = region.block
+
+
+class TestMutation:
+    def test_erase_requires_no_uses(self):
+        module, c0, c1, add = make_add_chain()
+        with pytest.raises(VerifyException):
+            c0.erase()
+
+    def test_erase_leaf(self):
+        module, c0, c1, add = make_add_chain()
+        add.erase()
+        assert add not in module.ops
+        assert not c0.result.has_uses
+
+    def test_detach_keeps_operands(self):
+        module, c0, c1, add = make_add_chain()
+        add.detach()
+        assert add not in module.ops
+        assert c0.result.has_uses
+
+    def test_clone_module(self):
+        module, c0, c1, add = make_add_chain()
+        cloned = module.clone()
+        assert len(cloned.ops) == 3
+        # Cloned add must use the *cloned* constants, not the originals.
+        cloned_add = cloned.ops[2]
+        assert cloned_add.operands[0] is cloned.ops[0].results[0]
+        assert cloned_add.operands[0] is not c0.result
+
+    def test_clone_preserves_attributes(self):
+        c0 = arith.ConstantOp(5.0, f32)
+        clone = c0.clone()
+        assert clone.value == 5.0
+        assert clone is not c0
+
+
+class TestVerification:
+    def test_valid_module_verifies(self):
+        module, *_ = make_add_chain()
+        module.verify()
+
+    def test_stale_parent_detected(self):
+        module, c0, *_ = make_add_chain()
+        c0.parent = None
+        with pytest.raises(VerifyException):
+            module.verify()
+
+    def test_terminator_trait(self):
+        from repro.dialects import func
+        from repro.ir.types import FunctionType
+
+        fn = func.FuncOp("f", FunctionType([], []))
+        fn.body.block.add_op(func.ReturnOp())
+        fn.body.block.add_op(UnregisteredOp("test.dummy"))
+        module = ModuleOp([fn])
+        with pytest.raises(VerifyException):
+            module.verify()

@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on IR and transformation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialects import arith, varith
+from repro.dialects.builtin import ModuleOp
+from repro.ir import PatternRewriteWalker, f32
+from repro.ir.printer import print_module
+from repro.transforms.arith_to_varith import ArithToVarithPass
+from repro.transforms.canonicalize import CanonicalizePass
+from repro.transforms.varith_fuse_repeated_operands import (
+    VarithFuseRepeatedOperandsPass,
+)
+
+
+def _evaluate_module(module: ModuleOp) -> float:
+    """Evaluate a module of pure constant arithmetic.
+
+    The value returned from the module's function (kept alive by its
+    ``func.return``) is the result; this keeps the chain live across passes
+    that perform dead-code elimination.
+    """
+    from repro.dialects import func as func_dialect
+
+    values: dict[int, float] = {}
+    result = 0.0
+    returns: list[float] = []
+    for op in module.walk():
+        if isinstance(op, arith.ConstantOp):
+            values[id(op.results[0])] = float(op.value)
+            result = values[id(op.results[0])]
+        elif isinstance(op, (arith.AddfOp, arith.SubfOp, arith.MulfOp)):
+            lhs = values[id(op.lhs)]
+            rhs = values[id(op.rhs)]
+            combined = {
+                arith.AddfOp: lhs + rhs,
+                arith.SubfOp: lhs - rhs,
+                arith.MulfOp: lhs * rhs,
+            }[type(op)]
+            values[id(op.results[0])] = combined
+            result = combined
+        elif isinstance(op, varith.AddOp):
+            total = sum(values[id(operand)] for operand in op.operands)
+            values[id(op.results[0])] = total
+            result = total
+        elif isinstance(op, varith.MulOp):
+            product = 1.0
+            for operand in op.operands:
+                product *= values[id(operand)]
+            values[id(op.results[0])] = product
+            result = product
+        elif isinstance(op, func_dialect.ReturnOp) and op.operands:
+            returns.append(values[id(op.operands[0])])
+    return returns[0] if returns else result
+
+
+def _build_chain(constants: list[float], operators: list[int]) -> ModuleOp:
+    """Build a left-to-right chain of +/* over the given constants, wrapped in
+    a function whose return keeps the final value live under DCE."""
+    from repro.dialects import func as func_dialect
+    from repro.ir.types import FunctionType
+
+    ops = [arith.ConstantOp(constants[0], f32)]
+    current = ops[0].results[0]
+    for value, operator in zip(constants[1:], operators):
+        constant = arith.ConstantOp(value, f32)
+        ops.append(constant)
+        op_type = arith.AddfOp if operator == 0 else arith.MulfOp
+        combined = op_type(current, constant.results[0])
+        ops.append(combined)
+        current = combined.results[0]
+    ops.append(func_dialect.ReturnOp([current]))
+    wrapper = func_dialect.FuncOp("chain", FunctionType([], [f32]))
+    wrapper.body.block.add_ops(ops)
+    return ModuleOp([wrapper])
+
+
+class TestArithmeticPreservation:
+    @given(
+        constants=st.lists(
+            st.floats(min_value=-8, max_value=8, allow_nan=False, width=32),
+            min_size=2,
+            max_size=8,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_varith_conversion_preserves_value(self, constants, seed):
+        rng = np.random.default_rng(seed)
+        operators = [int(rng.integers(0, 2)) for _ in range(len(constants) - 1)]
+        module = _build_chain(constants, operators)
+        expected = _evaluate_module(module)
+        ArithToVarithPass().apply(module)
+        module.verify()
+        assert np.isclose(_evaluate_module(module), expected, rtol=1e-5, atol=1e-6)
+
+    @given(
+        value=st.floats(min_value=-4, max_value=4, allow_nan=False, width=32),
+        repeats=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fuse_repeated_operands_preserves_value(self, value, repeats):
+        constant = arith.ConstantOp(value, f32)
+        add = varith.AddOp([constant.results[0]] * repeats)
+        module = ModuleOp([constant, add])
+        expected = value * repeats
+        VarithFuseRepeatedOperandsPass().apply(module)
+        module.verify()
+        assert np.isclose(_evaluate_module(module), expected, rtol=1e-5, atol=1e-5)
+
+    @given(
+        constants=st.lists(
+            st.floats(min_value=-8, max_value=8, allow_nan=False, width=32),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_canonicalize_preserves_value(self, constants):
+        operators = [0] * (len(constants) - 1)
+        module = _build_chain(constants, operators)
+        expected = _evaluate_module(module)
+        CanonicalizePass().apply(module)
+        module.verify()
+        assert np.isclose(_evaluate_module(module), expected, rtol=1e-5, atol=1e-5)
+
+
+class TestPrinterTotality:
+    @given(
+        constants=st.lists(
+            st.floats(min_value=-8, max_value=8, allow_nan=False, width=32),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_printer_never_fails_and_mentions_every_op(self, constants):
+        module = _build_chain(constants, [0] * (len(constants) - 1))
+        text = print_module(module)
+        assert text.count("arith.constant") == len(constants)
+
+
+class TestCloneIsomorphism:
+    @given(
+        constants=st.lists(
+            st.floats(min_value=-8, max_value=8, allow_nan=False, width=32),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_clone_evaluates_identically(self, constants):
+        module = _build_chain(constants, [1] * (len(constants) - 1))
+        clone = module.clone()
+        assert np.isclose(
+            _evaluate_module(module), _evaluate_module(clone), rtol=1e-6, atol=1e-6
+        )
+        clone.verify()
