@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench lint
+
+# Tier-1 verification: the whole suite, fail fast.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Benchmarks only (compile-time trajectory + paper figures).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+# No third-party linter is vendored; byte-compiling everything still catches
+# syntax errors and obvious breakage in one second.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples

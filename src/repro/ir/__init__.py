@@ -7,8 +7,10 @@ objects, carry :class:`~repro.ir.attributes.Attribute` metadata and are
 verified structurally by :mod:`repro.ir.verifier`.
 
 Transformations are written as :class:`~repro.ir.rewriting.RewritePattern`
-instances driven by :class:`~repro.ir.rewriting.PatternRewriteWalker`, or as
-whole-module :class:`~repro.ir.pass_manager.ModulePass` passes composed by a
+instances driven to a fixpoint by the worklist-based
+:class:`~repro.ir.rewriting.GreedyRewriteDriver` (entry point
+:func:`~repro.ir.rewriting.apply_patterns_greedily`), or as whole-module
+:class:`~repro.ir.pass_manager.ModulePass` passes composed by a
 :class:`~repro.ir.pass_manager.PassManager`.
 """
 
@@ -49,11 +51,23 @@ from repro.ir.operation import Block, Operation, Region
 from repro.ir.builder import Builder, InsertPoint
 from repro.ir.printer import Printer, print_module
 from repro.ir.rewriting import (
+    GreedyRewriteDriver,
+    GreedyRewritePatternApplier,
     PatternRewriter,
     PatternRewriteWalker,
+    RestartingRewriteWalker,
     RewritePattern,
+    TypedPattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+    use_restarting_driver,
 )
-from repro.ir.pass_manager import ModulePass, PassManager
+from repro.ir.pass_manager import (
+    ModulePass,
+    PassManager,
+    PassStatistics,
+    PipelineStatistics,
+)
 
 __all__ = [
     "ArrayAttr",
@@ -70,6 +84,8 @@ __all__ = [
     "Float64Type",
     "FloatAttr",
     "FunctionType",
+    "GreedyRewriteDriver",
+    "GreedyRewritePatternApplier",
     "IndexType",
     "InsertPoint",
     "IntAttr",
@@ -79,10 +95,13 @@ __all__ = [
     "OpResult",
     "Operation",
     "PassManager",
+    "PassStatistics",
     "PatternRewriteWalker",
     "PatternRewriter",
+    "PipelineStatistics",
     "Printer",
     "Region",
+    "RestartingRewriteWalker",
     "RewritePattern",
     "SSAValue",
     "ShapedType",
@@ -90,8 +109,10 @@ __all__ = [
     "SymbolRefAttr",
     "TensorType",
     "TypeAttribute",
+    "TypedPattern",
     "UnitAttr",
     "VerifyException",
+    "apply_patterns_greedily",
     "f16",
     "f32",
     "f64",
@@ -99,5 +120,7 @@ __all__ = [
     "i16",
     "i32",
     "i64",
+    "op_rewrite_pattern",
     "print_module",
+    "use_restarting_driver",
 ]

@@ -26,12 +26,12 @@ class InsertPoint:
     @staticmethod
     def before(op: Operation) -> "InsertPoint":
         assert op.parent is not None
-        return InsertPoint(op.parent, op.parent.ops.index(op))
+        return InsertPoint(op.parent, op.parent.index_of(op))
 
     @staticmethod
     def after(op: Operation) -> "InsertPoint":
         assert op.parent is not None
-        return InsertPoint(op.parent, op.parent.ops.index(op) + 1)
+        return InsertPoint(op.parent, op.parent.index_of(op) + 1)
 
 
 class Builder:

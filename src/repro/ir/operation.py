@@ -40,6 +40,10 @@ class Operation:
         self.regions: list[Region] = []
         self.successors: list[Block] = list(successors)
         self.parent: Block | None = None
+        # Intrusive doubly-linked list maintained by the parent block; gives
+        # O(1) insertion, removal and neighbour access.
+        self._next_op: Operation | None = None
+        self._prev_op: Operation | None = None
 
         for operand in operands:
             self.add_operand(operand)
@@ -125,18 +129,10 @@ class Operation:
 
     def next_op(self) -> "Operation | None":
         """The operation following this one in its block, if any."""
-        if self.parent is None:
-            return None
-        ops = self.parent.ops
-        index = ops.index(self)
-        return ops[index + 1] if index + 1 < len(ops) else None
+        return self._next_op if self.parent is not None else None
 
     def prev_op(self) -> "Operation | None":
-        if self.parent is None:
-            return None
-        ops = self.parent.ops
-        index = ops.index(self)
-        return ops[index - 1] if index > 0 else None
+        return self._prev_op if self.parent is not None else None
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -145,8 +141,7 @@ class Operation:
     def detach(self) -> "Operation":
         """Remove this op from its parent block without dropping operands."""
         if self.parent is not None:
-            self.parent.ops.remove(self)
-            self.parent = None
+            self.parent._unlink_op(self)
         return self
 
     def erase(self) -> None:
@@ -235,7 +230,13 @@ class UnregisteredOp(Operation):
 
 
 class Block:
-    """A straight-line sequence of operations with block arguments."""
+    """A straight-line sequence of operations with block arguments.
+
+    Operations are stored as an intrusive doubly-linked list so insertion
+    next to an existing op, detachment and neighbour queries are all O(1).
+    The :attr:`ops` property exposes a cached list snapshot for indexing and
+    iteration; treat it as read-only and mutate through the block methods.
+    """
 
     def __init__(
         self,
@@ -245,8 +246,12 @@ class Block:
         self.args: list[BlockArgument] = [
             BlockArgument(t, self, i) for i, t in enumerate(arg_types)
         ]
-        self.ops: list[Operation] = []
         self.parent: Region | None = None
+        self._first_op: Operation | None = None
+        self._last_op: Operation | None = None
+        self._num_ops: int = 0
+        self._ops_cache: list[Operation] | None = None
+        self._index_cache: dict[int, int] | None = None
         for op in ops:
             self.add_op(op)
 
@@ -275,31 +280,104 @@ class Block:
     # Op management
     # ------------------------------------------------------------------ #
 
-    def add_op(self, op: Operation) -> None:
+    @property
+    def ops(self) -> list[Operation]:
+        """List snapshot of the block's operations (do not mutate)."""
+        if self._ops_cache is None:
+            snapshot: list[Operation] = []
+            op = self._first_op
+            while op is not None:
+                snapshot.append(op)
+                op = op._next_op
+            self._ops_cache = snapshot
+        return self._ops_cache
+
+    def _invalidate_caches(self) -> None:
+        self._ops_cache = None
+        self._index_cache = None
+
+    def index_of(self, op: Operation) -> int:
+        """Position of ``op`` in this block; amortised O(1) between mutations."""
+        if op.parent is not self:
+            raise ValueError(f"operation '{op.name}' is not in this block")
+        if self._index_cache is None:
+            self._index_cache = {id(o): i for i, o in enumerate(self.ops)}
+        return self._index_cache[id(op)]
+
+    @property
+    def num_ops(self) -> int:
+        return self._num_ops
+
+    def _link_op(
+        self,
+        op: Operation,
+        prev_op: Operation | None,
+        next_op: Operation | None,
+    ) -> None:
+        assert op.parent is None, "op must be detached before insertion"
         op.parent = self
-        self.ops.append(op)
+        op._prev_op = prev_op
+        op._next_op = next_op
+        if prev_op is not None:
+            prev_op._next_op = op
+        else:
+            self._first_op = op
+        if next_op is not None:
+            next_op._prev_op = op
+        else:
+            self._last_op = op
+        self._num_ops += 1
+        self._invalidate_caches()
+
+    def _unlink_op(self, op: Operation) -> None:
+        assert op.parent is self
+        if op._prev_op is not None:
+            op._prev_op._next_op = op._next_op
+        else:
+            self._first_op = op._next_op
+        if op._next_op is not None:
+            op._next_op._prev_op = op._prev_op
+        else:
+            self._last_op = op._prev_op
+        op.parent = None
+        op._prev_op = None
+        op._next_op = None
+        self._num_ops -= 1
+        self._invalidate_caches()
+
+    def add_op(self, op: Operation) -> None:
+        op.detach()
+        self._link_op(op, self._last_op, None)
 
     def add_ops(self, ops: Iterable[Operation]) -> None:
         for op in ops:
             self.add_op(op)
 
     def insert_op(self, op: Operation, index: int) -> None:
-        op.parent = self
-        self.ops.insert(index, op)
+        op.detach()
+        if index >= self._num_ops:
+            self._link_op(op, self._last_op, None)
+            return
+        anchor = self.ops[index]
+        self._link_op(op, anchor._prev_op, anchor)
 
     def insert_op_before(self, new_op: Operation, existing: Operation) -> None:
-        self.insert_op(new_op, self.ops.index(existing))
+        assert existing.parent is self
+        new_op.detach()
+        self._link_op(new_op, existing._prev_op, existing)
 
     def insert_op_after(self, new_op: Operation, existing: Operation) -> None:
-        self.insert_op(new_op, self.ops.index(existing) + 1)
+        assert existing.parent is self
+        new_op.detach()
+        self._link_op(new_op, existing, existing._next_op)
 
     @property
     def first_op(self) -> Operation | None:
-        return self.ops[0] if self.ops else None
+        return self._first_op
 
     @property
     def last_op(self) -> Operation | None:
-        return self.ops[-1] if self.ops else None
+        return self._last_op
 
     def walk(self) -> Iterator[Operation]:
         for op in list(self.ops):

@@ -2,31 +2,144 @@
 
 Transformation passes are written as :class:`RewritePattern` subclasses whose
 ``match_and_rewrite`` method inspects one operation at a time and mutates the
-IR through the :class:`PatternRewriter` it is given.  The
-:class:`PatternRewriteWalker` drives patterns over a module until a fixpoint
-is reached.
+IR through the :class:`PatternRewriter` it is given.  Patterns declare the
+operation class they fire on either with the :func:`op_rewrite_pattern`
+decorator (which reads the type annotation of the ``op`` parameter) or by
+subclassing :class:`TypedPattern`.
+
+Two drivers apply patterns to a fixpoint:
+
+* :class:`GreedyRewriteDriver` — the default **worklist** driver.  It indexes
+  patterns by root operation class so each op only runs candidate patterns,
+  and the :class:`PatternRewriter` reports newly created / modified / erased
+  ops back to the worklist, so work after a rewrite is proportional to the
+  rewrite's footprint rather than to the module size.
+* :class:`RestartingRewriteWalker` — the legacy driver that restarts a full
+  pre-order walk of the module after every rewrite.  Kept as the reference
+  implementation for equivalence tests and compile-time benchmarks.
+
+:class:`PatternRewriteWalker` remains as a thin compatibility shim over the
+worklist driver; new code should call :func:`apply_patterns_greedily`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import functools
+import inspect
+import types
+import typing
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence
 
 from repro.ir.builder import InsertPoint
 from repro.ir.exceptions import VerifyException
 from repro.ir.operation import Block, Operation, Region
 from repro.ir.value import SSAValue
 
+# --------------------------------------------------------------------------- #
+# Rewrite accounting
+# --------------------------------------------------------------------------- #
+
+
+class RewriteTally:
+    """Counts pattern applications inside a :func:`tally_rewrites` scope."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+_ACTIVE_TALLIES: list[RewriteTally] = []
+
+
+@contextmanager
+def tally_rewrites() -> Iterator[RewriteTally]:
+    """Count every pattern application performed inside the ``with`` body.
+
+    Used by the pass manager to attribute rewrite counts to passes; scopes
+    nest, each rewrite is credited to every active tally.
+    """
+    tally = RewriteTally()
+    _ACTIVE_TALLIES.append(tally)
+    try:
+        yield tally
+    finally:
+        _ACTIVE_TALLIES.remove(tally)
+
+
+def _record_rewrite() -> None:
+    for tally in _ACTIVE_TALLIES:
+        tally.count += 1
+
+
+# --------------------------------------------------------------------------- #
+# Rewriter
+# --------------------------------------------------------------------------- #
+
+
+class RewriteListener:
+    """Callbacks through which a :class:`PatternRewriter` reports mutations.
+
+    The worklist driver implements this interface to keep its worklist in
+    sync; a standalone rewriter (``listener=None``) skips all reporting.
+    """
+
+    def notify_op_created(self, op: Operation) -> None:
+        """``op`` (and its nested ops) was inserted into the IR."""
+
+    def notify_op_modified(self, op: Operation) -> None:
+        """``op``'s operands, attributes or operand liveness changed."""
+
+    def notify_op_erased(self, op: Operation) -> None:
+        """``op`` was detached from the IR."""
+
 
 class PatternRewriter:
     """Mutation interface handed to rewrite patterns.
 
     Tracks whether any modification happened so the driver can decide
-    whether another fixpoint iteration is needed.
+    whether more work is needed, and reports the footprint of each mutation
+    to the driver's :class:`RewriteListener` so only affected ops are
+    revisited.
     """
 
-    def __init__(self, current_op: Operation):
+    def __init__(self, current_op: Operation, listener: RewriteListener | None = None):
         self.current_op = current_op
+        self.listener = listener
         self.has_done_action = False
+
+    # ------------------------------------------------------------------ #
+    # Listener plumbing
+    # ------------------------------------------------------------------ #
+
+    def _created(self, op: Operation) -> None:
+        if self.listener is not None:
+            self.listener.notify_op_created(op)
+
+    def _modified(self, op: Operation) -> None:
+        if self.listener is not None:
+            self.listener.notify_op_modified(op)
+
+    def _erased(self, op: Operation) -> None:
+        if self.listener is not None:
+            self.listener.notify_op_erased(op)
+
+    def _notify_users_of(self, values: Iterable[SSAValue]) -> None:
+        if self.listener is None:
+            return
+        for value in values:
+            for use in list(value.uses):
+                self.listener.notify_op_modified(use.operation)
+
+    def _notify_definers_of(self, op: Operation) -> None:
+        """Operand definers of ``op`` may become dead once ``op`` goes away."""
+        if self.listener is None:
+            return
+        for operand in op.operands:
+            owner = operand.owner()
+            if isinstance(owner, Operation):
+                self.listener.notify_op_modified(owner)
 
     # ------------------------------------------------------------------ #
     # Insertion
@@ -45,6 +158,7 @@ class PatternRewriter:
         assert block is not None, "target op is not attached to a block"
         for op in _as_list(ops):
             block.insert_op_before(op, target)
+            self._created(op)
         self.has_done_action = True
 
     def insert_op_after(
@@ -55,12 +169,14 @@ class PatternRewriter:
         anchor = target
         for op in _as_list(ops):
             block.insert_op_after(op, anchor)
+            self._created(op)
             anchor = op
         self.has_done_action = True
 
     def insert_op_at_end(self, ops: Operation | Sequence[Operation], block: Block) -> None:
         for op in _as_list(ops):
             block.add_op(op)
+            self._created(op)
         self.has_done_action = True
 
     def insert_op_at_start(
@@ -68,6 +184,7 @@ class PatternRewriter:
     ) -> None:
         for index, op in enumerate(_as_list(ops)):
             block.insert_op(op, index)
+            self._created(op)
         self.has_done_action = True
 
     # ------------------------------------------------------------------ #
@@ -95,9 +212,9 @@ class PatternRewriter:
         ops = _as_list(new_ops)
         block = op.parent
         assert block is not None, "cannot replace a detached op"
-        index = block.ops.index(op)
-        for offset, new_op in enumerate(ops):
-            block.insert_op(new_op, index + offset)
+        for new_op in ops:
+            block.insert_op_before(new_op, op)
+            self._created(new_op)
 
         if new_results is None:
             new_results = list(ops[-1].results) if ops else []
@@ -113,19 +230,40 @@ class PatternRewriter:
                         f"replacing '{op.name}': result has uses but no replacement"
                     )
                 continue
+            self._notify_users_of([old_result])
             old_result.replace_all_uses_with(new_value)
+        self._notify_definers_of(op)
         op.erase()
+        self._erased(op)
         self.has_done_action = True
 
     def erase_matched_op(self) -> None:
         self.erase_op(self.current_op)
 
     def erase_op(self, op: Operation) -> None:
+        self._notify_definers_of(op)
         op.erase()
+        self._erased(op)
         self.has_done_action = True
 
     def replace_all_uses_with(self, old: SSAValue, new: SSAValue) -> None:
+        self._notify_users_of([old])
         old.replace_all_uses_with(new)
+        self.has_done_action = True
+
+    def set_operand(self, op: Operation, index: int, new_value: SSAValue) -> None:
+        """Swap one operand of ``op``, notifying the driver."""
+        old = op.operands[index]
+        owner = old.owner()
+        if isinstance(owner, Operation):
+            self._modified(owner)
+        op.set_operand(index, new_value)
+        self._modified(op)
+        self.has_done_action = True
+
+    def notify_op_modified(self, op: Operation) -> None:
+        """Record an in-place mutation done outside the rewriter's methods."""
+        self._modified(op)
         self.has_done_action = True
 
     # ------------------------------------------------------------------ #
@@ -143,11 +281,13 @@ class PatternRewriter:
                     f"({len(arg_values)} values for {len(block.args)} args)"
                 )
             for arg, value in zip(block.args, arg_values):
+                self._notify_users_of([arg])
                 arg.replace_all_uses_with(value)
         for op in list(block.ops):
             op.detach()
             assert target.parent is not None
             target.parent.insert_op_before(op, target)
+            self._created(op)
         self.has_done_action = True
 
     def move_region_contents_to_new_block(self, region: Region) -> Block:
@@ -165,15 +305,80 @@ def _as_list(ops: Operation | Sequence[Operation]) -> list[Operation]:
     return list(ops)
 
 
+# --------------------------------------------------------------------------- #
+# Patterns
+# --------------------------------------------------------------------------- #
+
+
+def op_rewrite_pattern(method):
+    """Restrict a ``match_and_rewrite`` method to the annotated op class.
+
+    The decorated method declares its root operation type through the type
+    annotation of its ``op`` parameter::
+
+        class FoldAdd(RewritePattern):
+            @op_rewrite_pattern
+            def match_and_rewrite(self, op: arith.AddfOp, rewriter):
+                ...
+
+    Union annotations (``A | B``) register the pattern for every member.  The
+    driver uses the declared types to dispatch: ops of other classes never
+    reach the pattern.
+    """
+    hints = typing.get_type_hints(method)
+    parameters = list(inspect.signature(method).parameters)
+    if len(parameters) < 3:
+        raise TypeError(
+            "op_rewrite_pattern expects a method(self, op, rewriter) signature"
+        )
+    annotation = hints.get(parameters[1])
+    if annotation is None:
+        raise TypeError(
+            "op_rewrite_pattern requires a type annotation on the op parameter"
+        )
+    op_types = _expand_annotation(annotation)
+
+    @functools.wraps(method)
+    def wrapper(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if isinstance(op, op_types):
+            method(self, op, rewriter)
+
+    wrapper.__root_op_types__ = op_types
+    return wrapper
+
+
+def _expand_annotation(annotation) -> tuple[type[Operation], ...]:
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union or origin is getattr(types, "UnionType", None):
+        members = typing.get_args(annotation)
+    else:
+        members = (annotation,)
+    op_types = []
+    for member in members:
+        if not (isinstance(member, type) and issubclass(member, Operation)):
+            raise TypeError(
+                f"op_rewrite_pattern annotation {member!r} is not an Operation class"
+            )
+        op_types.append(member)
+    return tuple(op_types)
+
+
 class RewritePattern:
     """Base class for rewrite patterns.
 
     Subclasses override :meth:`match_and_rewrite`; a pattern that does not
     apply to the given op simply returns without calling any rewriter method.
+    Decorating ``match_and_rewrite`` with :func:`op_rewrite_pattern` (or
+    subclassing :class:`TypedPattern`) declares the root op class, which lets
+    the worklist driver skip the pattern for every other op class.
     """
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
         raise NotImplementedError
+
+    def root_op_types(self) -> tuple[type[Operation], ...] | None:
+        """Op classes this pattern can fire on; ``None`` means any op."""
+        return getattr(type(self).match_and_rewrite, "__root_op_types__", None)
 
 
 class TypedPattern(RewritePattern):
@@ -184,6 +389,11 @@ class TypedPattern(RewritePattern):
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
         if isinstance(op, self.op_type):
             self.rewrite(op, rewriter)
+
+    def root_op_types(self) -> tuple[type[Operation], ...] | None:
+        if self.op_type is Operation:
+            return None
+        return (self.op_type,)
 
     def rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
         raise NotImplementedError
@@ -201,13 +411,189 @@ class GreedyRewritePatternApplier(RewritePattern):
             if rewriter.has_done_action:
                 return
 
+    def root_op_types(self) -> tuple[type[Operation], ...] | None:
+        union: list[type[Operation]] = []
+        for pattern in self.patterns:
+            types = pattern.root_op_types()
+            if types is None:
+                return None
+            union.extend(types)
+        return tuple(union)
 
-class PatternRewriteWalker:
-    """Drives a pattern over all ops of a module until a fixpoint.
 
-    Iterates in pre-order; after any change the walk restarts, up to
-    ``max_iterations`` times, which keeps the driver simple and predictable
-    for the moderately sized modules used here.
+# --------------------------------------------------------------------------- #
+# Worklist driver
+# --------------------------------------------------------------------------- #
+
+
+class _Worklist:
+    """LIFO worklist of operations with O(1) membership dedup."""
+
+    __slots__ = ("_stack", "_ids")
+
+    def __init__(self) -> None:
+        self._stack: list[Operation] = []
+        self._ids: set[int] = set()
+
+    def push(self, op: Operation) -> None:
+        key = id(op)
+        if key not in self._ids:
+            self._ids.add(key)
+            self._stack.append(op)
+
+    def pop(self) -> Operation | None:
+        if not self._stack:
+            return None
+        op = self._stack.pop()
+        self._ids.discard(id(op))
+        return op
+
+    def __bool__(self) -> bool:
+        return bool(self._stack)
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+def _flatten_patterns(
+    patterns: RewritePattern | Iterable[RewritePattern],
+) -> list[RewritePattern]:
+    if isinstance(patterns, RewritePattern):
+        patterns = [patterns]
+    flat: list[RewritePattern] = []
+    for pattern in patterns:
+        if isinstance(pattern, GreedyRewritePatternApplier):
+            flat.extend(pattern.patterns)
+        else:
+            flat.append(pattern)
+    return flat
+
+
+class GreedyRewriteDriver(RewriteListener):
+    """Worklist-based greedy pattern driver.
+
+    Seeds a worklist with every op of the module in pre-order, then pops ops
+    and applies the first matching candidate pattern.  Rewrites report their
+    footprint (created / modified / erased ops) through the
+    :class:`RewriteListener` interface, and only those ops (plus the
+    neighbours whose liveness they may have changed) are re-enqueued — the
+    module is never re-walked.
+
+    Patterns are indexed by their declared root op class; ops only run the
+    patterns that can actually fire on them, in registration order, which
+    preserves the first-match priority of
+    :class:`GreedyRewritePatternApplier`.
+    """
+
+    def __init__(
+        self,
+        patterns: RewritePattern | Iterable[RewritePattern],
+        *,
+        apply_recursively: bool = True,
+        max_rewrites: int = 1_000_000,
+    ):
+        self.patterns = _flatten_patterns(patterns)
+        self.apply_recursively = apply_recursively
+        self.max_rewrites = max_rewrites
+        self.num_rewrites = 0
+        self._pattern_roots = [pattern.root_op_types() for pattern in self.patterns]
+        self._dispatch_cache: dict[type, tuple[RewritePattern, ...]] = {}
+        self._worklist = _Worklist()
+
+    # -- dispatch ------------------------------------------------------- #
+
+    def _candidates(self, op_class: type) -> tuple[RewritePattern, ...]:
+        cached = self._dispatch_cache.get(op_class)
+        if cached is None:
+            cached = tuple(
+                pattern
+                for pattern, roots in zip(self.patterns, self._pattern_roots)
+                if roots is None or issubclass(op_class, roots)
+            )
+            self._dispatch_cache[op_class] = cached
+        return cached
+
+    # -- listener ------------------------------------------------------- #
+
+    def notify_op_created(self, op: Operation) -> None:
+        for nested in reversed(list(op.walk())):
+            self._worklist.push(nested)
+
+    def notify_op_modified(self, op: Operation) -> None:
+        self._worklist.push(op)
+
+    def notify_op_erased(self, op: Operation) -> None:
+        # Popped ops are checked for detachment; nothing to do eagerly.
+        pass
+
+    # -- driving -------------------------------------------------------- #
+
+    @staticmethod
+    def _is_attached(op: Operation, root: Operation) -> bool:
+        """True if ``op`` is still reachable from ``root``.
+
+        Checking ``op.parent`` alone is not enough: erasing an op with
+        nested regions detaches only the subtree root, while the inner ops
+        keep their parent pointers.
+        """
+        while op is not root:
+            block = op.parent
+            if block is None or block.parent is None:
+                return False
+            op = block.parent.parent
+            if op is None:
+                return False
+        return True
+
+    def rewrite_module(self, root: Operation) -> bool:
+        """Apply patterns until no more changes occur.  Returns True if the
+        module was modified at all."""
+        self.num_rewrites = 0
+        worklist = self._worklist = _Worklist()
+        for op in reversed(list(root.walk())):
+            worklist.push(op)
+
+        changed_any = False
+        while (op := worklist.pop()) is not None:
+            if not self._is_attached(op, root):
+                continue  # erased or detached since it was enqueued
+            candidates = self._candidates(type(op))
+            if not candidates:
+                continue
+            rewriter = PatternRewriter(op, listener=self)
+            for pattern in candidates:
+                pattern.match_and_rewrite(op, rewriter)
+                if rewriter.has_done_action:
+                    changed_any = True
+                    self.num_rewrites += 1
+                    _record_rewrite()
+                    if self.num_rewrites > self.max_rewrites:
+                        raise VerifyException(
+                            "pattern rewriting did not converge within "
+                            f"{self.max_rewrites} rewrites"
+                        )
+                    if self.apply_recursively and (
+                        op is root or op.parent is not None
+                    ):
+                        # The root may match again (same or later patterns).
+                        worklist.push(op)
+                    break
+        return changed_any
+
+
+# --------------------------------------------------------------------------- #
+# Legacy restart-the-world driver
+# --------------------------------------------------------------------------- #
+
+
+class RestartingRewriteWalker:
+    """Reference driver that restarts a full pre-order walk after every
+    rewrite.
+
+    This was the original driver: simple and predictable, but the restart
+    makes whole-module rewriting quadratic (or worse) in module size.  It is
+    kept as the behavioural reference for the worklist driver — equivalence
+    tests and compile-time benchmarks run both and compare.
     """
 
     def __init__(
@@ -243,5 +629,85 @@ class PatternRewriteWalker:
             rewriter = PatternRewriter(op)
             self.pattern.match_and_rewrite(op, rewriter)
             if rewriter.has_done_action:
+                _record_rewrite()
                 return True
         return False
+
+
+# --------------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------------- #
+
+#: When true, :func:`apply_patterns_greedily` routes through the legacy
+#: restarting walker.  Flipped by :func:`use_restarting_driver` so
+#: equivalence tests and benchmarks can run the whole pipeline on the
+#: reference implementation.
+_FORCE_RESTARTING_DRIVER: list[bool] = [False]
+
+
+@contextmanager
+def use_restarting_driver() -> Iterator[None]:
+    """Route all :func:`apply_patterns_greedily` calls through the legacy
+    restart-the-world driver for the duration of the ``with`` block."""
+    _FORCE_RESTARTING_DRIVER.append(True)
+    try:
+        yield
+    finally:
+        _FORCE_RESTARTING_DRIVER.pop()
+
+
+def apply_patterns_greedily(
+    module: Operation,
+    patterns: RewritePattern | Iterable[RewritePattern],
+    *,
+    apply_recursively: bool = True,
+    max_rewrites: int = 1_000_000,
+) -> bool:
+    """Apply ``patterns`` over ``module`` to a fixpoint.
+
+    The standard entry point for transformation passes.  Uses the worklist
+    driver unless the legacy driver was requested via
+    :func:`use_restarting_driver`.
+    """
+    if _FORCE_RESTARTING_DRIVER[-1]:
+        flat = _flatten_patterns(patterns)
+        pattern = flat[0] if len(flat) == 1 else GreedyRewritePatternApplier(flat)
+        return RestartingRewriteWalker(
+            pattern,
+            apply_recursively=apply_recursively,
+            max_iterations=max_rewrites,
+        ).rewrite_module(module)
+    return GreedyRewriteDriver(
+        patterns,
+        apply_recursively=apply_recursively,
+        max_rewrites=max_rewrites,
+    ).rewrite_module(module)
+
+
+class PatternRewriteWalker:
+    """Deprecated compatibility shim over :class:`GreedyRewriteDriver`.
+
+    Pre-worklist code constructed ``PatternRewriteWalker(pattern)`` and
+    called ``rewrite_module``; that entry point keeps working (including the
+    ``use_restarting_driver`` escape hatch), but new code should call
+    :func:`apply_patterns_greedily` directly.
+    """
+
+    def __init__(
+        self,
+        pattern: RewritePattern,
+        *,
+        apply_recursively: bool = True,
+        max_iterations: int = 10_000,
+    ):
+        self.pattern = pattern
+        self.apply_recursively = apply_recursively
+        self.max_iterations = max_iterations
+
+    def rewrite_module(self, module: Operation) -> bool:
+        return apply_patterns_greedily(
+            module,
+            self.pattern,
+            apply_recursively=self.apply_recursively,
+            max_rewrites=self.max_iterations,
+        )

@@ -13,7 +13,13 @@ generated code its memory-footprint advantage over the hand-written kernel
 from __future__ import annotations
 
 from repro.dialects import arith, linalg, memref, varith
-from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir import (
+    ModulePass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+)
 from repro.ir.operation import Operation
 from repro.ir.types import MemRefType
 from repro.ir.value import SSAValue
@@ -30,9 +36,8 @@ def _is_scalar_constant(value: SSAValue) -> bool:
 class VarithAddToLinalg(RewritePattern):
     """``varith.add(a, b, c, ...)`` -> chain of linalg.add into a new buffer."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, varith.AddOp):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: varith.AddOp, rewriter: PatternRewriter) -> None:
         if not _is_buffer(op.result):
             return
         buffers = [operand for operand in op.operands if _is_buffer(operand)]
@@ -65,9 +70,8 @@ class VarithAddToLinalg(RewritePattern):
 class VarithMulToLinalg(RewritePattern):
     """``varith.mul`` -> linalg.mul / linalg.scale into a new buffer."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, varith.MulOp):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: varith.MulOp, rewriter: PatternRewriter) -> None:
         if not _is_buffer(op.result):
             return
         buffers = [operand for operand in op.operands if _is_buffer(operand)]
@@ -105,11 +109,13 @@ class BinaryArithToLinalg(RewritePattern):
         arith.DivfOp: linalg.DivOp,
     }
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        target = self._MAPPING.get(type(op))
-        if target is None:
-            return
-        assert isinstance(op, arith._BinaryOp)
+    @op_rewrite_pattern
+    def match_and_rewrite(
+        self,
+        op: arith.AddfOp | arith.SubfOp | arith.MulfOp | arith.DivfOp,
+        rewriter: PatternRewriter,
+    ) -> None:
+        target = self._MAPPING[type(op)]
         if not _is_buffer(op.result):
             return
 
@@ -141,9 +147,6 @@ class ArithToLinalgPass(ModulePass):
     name = "arith-to-linalg"
 
     def apply(self, module: Operation) -> None:
-        from repro.ir.rewriting import GreedyRewritePatternApplier
-
-        pattern = GreedyRewritePatternApplier(
-            [VarithAddToLinalg(), VarithMulToLinalg(), BinaryArithToLinalg()]
+        apply_patterns_greedily(
+            module, [VarithAddToLinalg(), VarithMulToLinalg(), BinaryArithToLinalg()]
         )
-        PatternRewriteWalker(pattern).rewrite_module(module)

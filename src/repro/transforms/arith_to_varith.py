@@ -9,7 +9,13 @@ simpler to express.
 from __future__ import annotations
 
 from repro.dialects import arith, varith
-from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir import (
+    ModulePass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+)
 from repro.ir.operation import Operation
 from repro.ir.value import SSAValue
 
@@ -22,11 +28,11 @@ class ArithToVarithPattern(RewritePattern):
         arith.MulfOp: varith.MulOp,
     }
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        target = self._MAPPING.get(type(op))
-        if target is None:
-            return
-        assert isinstance(op, arith._BinaryOp)
+    @op_rewrite_pattern
+    def match_and_rewrite(
+        self, op: arith.AddfOp | arith.MulfOp, rewriter: PatternRewriter
+    ) -> None:
+        target = self._MAPPING[type(op)]
         operands = self._flatten(op.lhs, target) + self._flatten(op.rhs, target)
         new_op = target(operands, op.result.type)
         rewriter.replace_matched_op(new_op)
@@ -44,9 +50,10 @@ class ArithToVarithPattern(RewritePattern):
 class MergeNestedVarithPattern(RewritePattern):
     """Merge a varith op used once as an operand of a same-kind varith op."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, (varith.AddOp, varith.MulOp)):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(
+        self, op: varith.AddOp | varith.MulOp, rewriter: PatternRewriter
+    ) -> None:
         for operand in op.operands:
             owner = operand.owner()
             if type(owner) is type(op) and len(operand.uses) == 1:
@@ -64,14 +71,13 @@ class ArithToVarithPass(ModulePass):
     name = "convert-arith-to-varith"
 
     def apply(self, module: Operation) -> None:
-        from repro.ir.rewriting import GreedyRewritePatternApplier
         from repro.transforms.canonicalize import RemoveDeadPureOps
 
-        pattern = GreedyRewritePatternApplier(
+        apply_patterns_greedily(
+            module,
             [
                 ArithToVarithPattern(),
                 MergeNestedVarithPattern(),
                 RemoveDeadPureOps(),
-            ]
+            ],
         )
-        PatternRewriteWalker(pattern).rewrite_module(module)

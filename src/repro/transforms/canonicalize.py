@@ -6,13 +6,23 @@ Run between major pipeline stages to clean up ops left dead by rewrites.
 from __future__ import annotations
 
 from repro.dialects import arith, varith
-from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir import (
+    ModulePass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+)
 from repro.ir.operation import Operation
 from repro.ir.traits import Pure
 
 
 class RemoveDeadPureOps(RewritePattern):
-    """Erase side-effect-free operations whose results are unused."""
+    """Erase side-effect-free operations whose results are unused.
+
+    Pure ops exist across all dialects, so this pattern declares no root op
+    type and runs on every op class.
+    """
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
         if Pure not in op.traits:
@@ -34,11 +44,13 @@ class FoldConstantArith(RewritePattern):
         arith.DivfOp: lambda a, b: a / b,
     }
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        folder = self._FOLDERS.get(type(op))
-        if folder is None:
-            return
-        assert isinstance(op, arith._BinaryOp)
+    @op_rewrite_pattern
+    def match_and_rewrite(
+        self,
+        op: arith.AddfOp | arith.SubfOp | arith.MulfOp | arith.DivfOp,
+        rewriter: PatternRewriter,
+    ) -> None:
+        folder = self._FOLDERS[type(op)]
         lhs, rhs = op.lhs.owner(), op.rhs.owner()
         if not (isinstance(lhs, arith.ConstantOp) and isinstance(rhs, arith.ConstantOp)):
             return
@@ -49,9 +61,10 @@ class FoldConstantArith(RewritePattern):
 class FlattenSingleOperandVarith(RewritePattern):
     """``varith.add(%x)`` is just ``%x``."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, (varith.AddOp, varith.MulOp)):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(
+        self, op: varith.AddOp | varith.MulOp, rewriter: PatternRewriter
+    ) -> None:
         if len(op.operands) != 1:
             return
         rewriter.replace_matched_op([], new_results=[op.operands[0]])
@@ -63,13 +76,11 @@ class CanonicalizePass(ModulePass):
     name = "canonicalize"
 
     def apply(self, module: Operation) -> None:
-        from repro.ir.rewriting import GreedyRewritePatternApplier
-
-        pattern = GreedyRewritePatternApplier(
+        apply_patterns_greedily(
+            module,
             [
                 FoldConstantArith(),
                 FlattenSingleOperandVarith(),
                 RemoveDeadPureOps(),
-            ]
+            ],
         )
-        PatternRewriteWalker(pattern).rewrite_module(module)

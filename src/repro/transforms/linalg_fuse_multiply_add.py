@@ -10,7 +10,13 @@ large share of the generated DSD instructions.
 from __future__ import annotations
 
 from repro.dialects import linalg, memref
-from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir import (
+    ModulePass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+)
 from repro.ir.operation import Operation
 
 
@@ -20,9 +26,8 @@ class FuseScaleIntoAdd(RewritePattern):
     The scaled temporary must have no other readers.
     """
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, linalg.AddOp):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: linalg.AddOp, rewriter: PatternRewriter) -> None:
         for scaled_index, other_index in ((0, 1), (1, 0)):
             scaled = op.inputs[scaled_index]
             other = op.inputs[other_index]
@@ -64,8 +69,8 @@ class FuseScaleIntoAdd(RewritePattern):
         writer = writers[0]
         if writer.parent is None or writer.parent is not consumer.parent:
             return None
-        ops = writer.parent.ops
-        if ops.index(writer) > ops.index(consumer):
+        block = writer.parent
+        if block.index_of(writer) > block.index_of(consumer):
             return None
         return writer
 
@@ -74,4 +79,4 @@ class LinalgFuseMultiplyAddPass(ModulePass):
     name = "linalg-fuse-multiply-add"
 
     def apply(self, module: Operation) -> None:
-        PatternRewriteWalker(FuseScaleIntoAdd()).rewrite_module(module)
+        apply_patterns_greedily(module, FuseScaleIntoAdd())

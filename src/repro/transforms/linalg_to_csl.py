@@ -19,12 +19,29 @@ linalg form            CSL builtin
 from __future__ import annotations
 
 from repro.dialects import csl, linalg, memref
-from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir import (
+    ModulePass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+)
 from repro.ir.operation import Operation
 
 
 class LowerLinalgToCsl(RewritePattern):
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+    @op_rewrite_pattern
+    def match_and_rewrite(
+        self,
+        op: linalg.AddOp
+        | linalg.SubOp
+        | linalg.MulOp
+        | linalg.ScaleOp
+        | linalg.FmaOp
+        | linalg.FillOp
+        | memref.CopyOp,
+        rewriter: PatternRewriter,
+    ) -> None:
         if isinstance(op, linalg.AddOp):
             rewriter.replace_matched_op(
                 csl.FaddsOp(op.output, op.inputs[0], op.inputs[1]), new_results=[]
@@ -60,4 +77,4 @@ class LinalgToCslPass(ModulePass):
     name = "linalg-to-csl"
 
     def apply(self, module: Operation) -> None:
-        PatternRewriteWalker(LowerLinalgToCsl()).rewrite_module(module)
+        apply_patterns_greedily(module, LowerLinalgToCsl())

@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from repro.dialects import linalg, memref
 from repro.dialects.csl_stencil import ApplyOp, YieldOp
-from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir import (
+    ModulePass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+)
 from repro.ir.operation import Block, Operation
 from repro.ir.value import BlockArgument, SSAValue
 
@@ -46,7 +52,7 @@ def _writes_of(value: SSAValue) -> list[Operation]:
 
 def _position(op: Operation) -> int:
     assert op.parent is not None
-    return op.parent.ops.index(op)
+    return op.parent.index_of(op)
 
 
 def _is_reusable_buffer(value: SSAValue, block: Block) -> bool:
@@ -64,9 +70,17 @@ def _is_reusable_buffer(value: SSAValue, block: Block) -> bool:
 class InPlaceAccumulation(RewritePattern):
     """Reuse a dead input buffer as the destination of a linalg op."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, _LINALG_DPS_OPS):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(
+        self,
+        op: linalg.AddOp
+        | linalg.SubOp
+        | linalg.MulOp
+        | linalg.DivOp
+        | linalg.ScaleOp
+        | linalg.FmaOp,
+        rewriter: PatternRewriter,
+    ) -> None:
         dest = op.output
         dest_owner = dest.owner()
         if not isinstance(dest_owner, memref.AllocOp):
@@ -91,18 +105,16 @@ class InPlaceAccumulation(RewritePattern):
                 return
 
         # Rewrite: drop the alloc, write into the candidate buffer.
-        dest.replace_all_uses_with(candidate)
+        rewriter.replace_all_uses_with(dest, candidate)
         if not dest_owner.results[0].has_uses:
             rewriter.erase_op(dest_owner)
-        rewriter.has_done_action = True
 
 
 class ForwardCopyToDestination(RewritePattern):
     """Retarget the single writer of a temporary to the copy's destination."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, memref.CopyOp):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: memref.CopyOp, rewriter: PatternRewriter) -> None:
         source = op.source
         source_owner = source.owner()
         if not isinstance(source_owner, memref.AllocOp):
@@ -121,10 +133,10 @@ class ForwardCopyToDestination(RewritePattern):
         destination = op.dest
         if not self._destination_available_before(destination, writer):
             return
-        writer.set_operand(len(writer.operands) - 1, destination)
+        rewriter.set_operand(writer, len(writer.operands) - 1, destination)
         rewriter.erase_matched_op()
         # Any remaining read of the temp becomes a read of the destination.
-        source.replace_all_uses_with(destination)
+        rewriter.replace_all_uses_with(source, destination)
         if not source_owner.results[0].has_uses:
             rewriter.erase_op(source_owner)
 
@@ -146,10 +158,10 @@ class ForwardCopyToDestination(RewritePattern):
         block = producer.parent
         if writer.parent is not block:
             return False
-        if block.ops.index(producer) < block.ops.index(writer):
+        if block.index_of(producer) < block.index_of(writer):
             return True
         # Try to hoist the producer (e.g. a memref.subview) before the writer.
-        writer_index = block.ops.index(writer)
+        writer_index = block.index_of(writer)
         for operand in producer.operands:
             if isinstance(operand, BlockArgument):
                 continue
@@ -157,7 +169,7 @@ class ForwardCopyToDestination(RewritePattern):
             if (
                 not isinstance(operand_owner, Operation)
                 or operand_owner.parent is not block
-                or block.ops.index(operand_owner) >= writer_index
+                or block.index_of(operand_owner) >= writer_index
             ):
                 return False
         producer.detach()
@@ -168,14 +180,16 @@ class ForwardCopyToDestination(RewritePattern):
 class RemoveSelfCopy(RewritePattern):
     """``memref.copy(%x, %x)`` does nothing."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if isinstance(op, memref.CopyOp) and op.source is op.dest:
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: memref.CopyOp, rewriter: PatternRewriter) -> None:
+        if op.source is op.dest:
             rewriter.erase_matched_op()
 
 
 class RemoveDeadAlloc(RewritePattern):
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if isinstance(op, memref.AllocOp) and not op.result.has_uses:
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: memref.AllocOp, rewriter: PatternRewriter) -> None:
+        if not op.result.has_uses:
             rewriter.erase_matched_op()
 
 
@@ -185,14 +199,12 @@ class MemoryOptimizationPass(ModulePass):
     name = "csl-stencil-memory-optimization"
 
     def apply(self, module: Operation) -> None:
-        from repro.ir.rewriting import GreedyRewritePatternApplier
-
-        pattern = GreedyRewritePatternApplier(
+        apply_patterns_greedily(
+            module,
             [
                 ForwardCopyToDestination(),
                 InPlaceAccumulation(),
                 RemoveSelfCopy(),
                 RemoveDeadAlloc(),
-            ]
+            ],
         )
-        PatternRewriteWalker(pattern).rewrite_module(module)

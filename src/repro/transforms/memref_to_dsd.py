@@ -13,7 +13,13 @@ native hardware support.  This pass:
 from __future__ import annotations
 
 from repro.dialects import csl, memref
-from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir import (
+    ModulePass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+)
 from repro.ir.attributes import StringAttr
 from repro.ir.operation import Operation
 from repro.ir.types import MemRefType
@@ -22,9 +28,8 @@ from repro.ir.types import MemRefType
 class GlobalToZeros(RewritePattern):
     """Module-scope buffers become zero-initialised CSL arrays."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, memref.GlobalOp):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: memref.GlobalOp, rewriter: PatternRewriter) -> None:
         zeros = csl.ZerosOp(op.buffer_type, sym_name=op.sym_name)
         rewriter.replace_matched_op(zeros, new_results=[])
 
@@ -32,9 +37,10 @@ class GlobalToZeros(RewritePattern):
 class GetGlobalToDsd(RewritePattern):
     """A reference to a module buffer becomes a full-length mem1d DSD."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, memref.GetGlobalOp):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(
+        self, op: memref.GetGlobalOp, rewriter: PatternRewriter
+    ) -> None:
         buffer_type = op.result.type
         assert isinstance(buffer_type, MemRefType)
         dsd = csl.GetMemDsdOp(op.result, buffer_type.element_count())
@@ -48,9 +54,8 @@ class GetGlobalToDsd(RewritePattern):
 class SubviewToDsd(RewritePattern):
     """A subview becomes a DSD with an adjusted offset and length."""
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, memref.SubviewOp):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: memref.SubviewOp, rewriter: PatternRewriter) -> None:
         source = op.source
         owner = source.owner()
         if isinstance(owner, csl.GetMemDsdOp):
@@ -82,9 +87,6 @@ class MemrefToDsdPass(ModulePass):
     name = "lower-memref-to-dsd"
 
     def apply(self, module: Operation) -> None:
-        from repro.ir.rewriting import GreedyRewritePatternApplier
-
-        pattern = GreedyRewritePatternApplier(
-            [GlobalToZeros(), SubviewToDsd(), GetGlobalToDsd()]
+        apply_patterns_greedily(
+            module, [GlobalToZeros(), SubviewToDsd(), GetGlobalToDsd()]
         )
-        PatternRewriteWalker(pattern).rewrite_module(module)

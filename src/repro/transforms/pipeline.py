@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.dialects.builtin import ModuleOp
 from repro.frontends.common import StencilProgram, build_stencil_module
-from repro.ir import PassManager
+from repro.ir import PassManager, PipelineStatistics
 from repro.ir.operation import Operation
 from repro.transforms.arith_to_linalg import ArithToLinalgPass
 from repro.transforms.arith_to_varith import ArithToVarithPass
@@ -56,6 +56,24 @@ class PipelineOptions:
     enable_memory_optimization: bool = True
     #: verify the module after every pass (slower, useful in tests).
     verify_each: bool = True
+
+    _VALID_TARGETS = ("wse2", "wse3")
+
+    def __post_init__(self) -> None:
+        if self.target not in self._VALID_TARGETS:
+            raise ValueError(
+                f"invalid target {self.target!r}: expected one of "
+                f"{', '.join(repr(t) for t in self._VALID_TARGETS)}"
+            )
+        if self.grid_width < 1 or self.grid_height < 1:
+            raise ValueError(
+                "PE grid dimensions must be positive, got "
+                f"grid_width={self.grid_width}, grid_height={self.grid_height}"
+            )
+        if self.num_chunks < 1:
+            raise ValueError(
+                f"num_chunks must be at least 1, got {self.num_chunks}"
+            )
 
 
 def build_pass_pipeline(options: PipelineOptions) -> PassManager:
@@ -114,6 +132,8 @@ class CompilationResult:
     module: ModuleOp
     options: PipelineOptions
     program: StencilProgram
+    #: per-pass wall time / rewrite counts / op deltas of the pipeline run.
+    statistics: PipelineStatistics | None = None
 
     @property
     def csl_modules(self):
@@ -150,8 +170,10 @@ def compile_stencil_program(
     module = build_stencil_module(program)
     module.verify()
     pipeline = build_pass_pipeline(options)
-    pipeline.run(module)
-    return CompilationResult(module=module, options=options, program=program)
+    statistics = pipeline.run(module)
+    return CompilationResult(
+        module=module, options=options, program=program, statistics=statistics
+    )
 
 
 def compile_module(module: ModuleOp, options: PipelineOptions) -> ModuleOp:

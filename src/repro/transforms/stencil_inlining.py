@@ -11,7 +11,13 @@ merges all applies into one.
 from __future__ import annotations
 
 from repro.dialects import stencil
-from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir import (
+    ModulePass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+)
 from repro.ir.operation import Block, Operation, Region
 from repro.ir.value import SSAValue
 
@@ -33,9 +39,8 @@ class InlineProducerIntoConsumer(RewritePattern):
     kernel.
     """
 
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, stencil.ApplyOp):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: stencil.ApplyOp, rewriter: PatternRewriter) -> None:
         producer = op
         if len(producer.results) != 1:
             return
@@ -133,4 +138,4 @@ class StencilInliningPass(ModulePass):
     name = "stencil-inlining"
 
     def apply(self, module: Operation) -> None:
-        PatternRewriteWalker(InlineProducerIntoConsumer()).rewrite_module(module)
+        apply_patterns_greedily(module, InlineProducerIntoConsumer())

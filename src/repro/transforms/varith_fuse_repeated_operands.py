@@ -11,16 +11,21 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.dialects import arith, varith
-from repro.ir import ModulePass, PatternRewriteWalker, PatternRewriter, RewritePattern
+from repro.ir import (
+    ModulePass,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+    op_rewrite_pattern,
+)
 from repro.ir.operation import Operation
 from repro.ir.types import f32
 from repro.ir.value import SSAValue
 
 
 class FuseRepeatedOperandsPattern(RewritePattern):
-    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        if not isinstance(op, varith.AddOp):
-            return
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: varith.AddOp, rewriter: PatternRewriter) -> None:
         counts = Counter(id(operand) for operand in op.operands)
         if all(count == 1 for count in counts.values()):
             return
@@ -55,4 +60,4 @@ class VarithFuseRepeatedOperandsPass(ModulePass):
     name = "varith-fuse-repeated-operands"
 
     def apply(self, module: Operation) -> None:
-        PatternRewriteWalker(FuseRepeatedOperandsPattern()).rewrite_module(module)
+        apply_patterns_greedily(module, FuseRepeatedOperandsPattern())

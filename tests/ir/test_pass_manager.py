@@ -1,0 +1,112 @@
+"""Tests for pass-manager instrumentation and failure reporting."""
+
+import pytest
+
+from repro.dialects import arith
+from repro.dialects.builtin import ModuleOp
+from repro.ir import ModulePass, PassManager, f32
+from repro.ir.exceptions import PassFailedException
+
+
+class NoOpPass(ModulePass):
+    name = "no-op"
+
+    def apply(self, module):
+        pass
+
+
+class AddConstantPass(ModulePass):
+    name = "add-constant"
+
+    def apply(self, module):
+        module.body.add_op(arith.ConstantOp(1.0, f32))
+
+
+class ExplodingPass(ModulePass):
+    name = "exploding"
+
+    def apply(self, module):
+        raise RuntimeError("boom")
+
+
+def build_module():
+    return ModuleOp([arith.ConstantOp(0.0, f32)])
+
+
+class TestFailureReporting:
+    def test_failure_names_pass_and_position(self):
+        manager = PassManager([NoOpPass(), AddConstantPass(), ExplodingPass()])
+        with pytest.raises(PassFailedException) as excinfo:
+            manager.run(build_module())
+        message = str(excinfo.value)
+        assert "pass 'exploding'" in message
+        assert "position 3 of 3" in message
+        assert "no-op,add-constant" in message
+        assert "boom" in message
+
+    def test_failure_in_first_pass_reports_pipeline_start(self):
+        manager = PassManager([ExplodingPass(), NoOpPass()])
+        with pytest.raises(PassFailedException) as excinfo:
+            manager.run(build_module())
+        message = str(excinfo.value)
+        assert "position 1 of 2" in message
+        assert "start of the pipeline" in message
+
+    def test_pass_failed_exception_is_enriched_not_swallowed(self):
+        class Failing(ModulePass):
+            name = "failing"
+
+            def apply(self, module):
+                raise PassFailedException("inner detail")
+
+        manager = PassManager([Failing()])
+        with pytest.raises(PassFailedException) as excinfo:
+            manager.run(build_module())
+        assert "inner detail" in str(excinfo.value)
+        assert "pass 'failing'" in str(excinfo.value)
+
+
+class TestStatistics:
+    def test_statistics_recorded_per_pass(self):
+        manager = PassManager([NoOpPass(), AddConstantPass()])
+        statistics = manager.run(build_module())
+        assert manager.statistics is statistics
+        assert [stat.name for stat in statistics.passes] == ["no-op", "add-constant"]
+        add_stat = statistics.by_name("add-constant")
+        assert add_stat.position == 1
+        assert add_stat.ops_before == 2  # module + constant
+        assert add_stat.ops_after == 3
+        assert add_stat.op_delta == 1
+        assert all(stat.wall_time >= 0 for stat in statistics.passes)
+
+    def test_rewrites_attributed_to_pass(self):
+        from repro.ir import apply_patterns_greedily
+        from repro.transforms.canonicalize import RemoveDeadPureOps
+
+        class DcePass(ModulePass):
+            name = "dce"
+
+            def apply(self, module):
+                apply_patterns_greedily(module, RemoveDeadPureOps())
+
+        statistics = PassManager([DcePass()]).run(build_module())
+        assert statistics.by_name("dce").rewrites == 1
+        assert statistics.total_rewrites == 1
+
+    def test_format_table_lists_every_pass(self):
+        statistics = PassManager([NoOpPass(), AddConstantPass()]).run(build_module())
+        table = statistics.format_table()
+        assert "no-op" in table
+        assert "add-constant" in table
+        assert "total" in table
+
+    def test_timing_env_knob_prints_table(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_PASS_TIMING", "1")
+        PassManager([NoOpPass()]).run(build_module())
+        captured = capsys.readouterr()
+        assert "no-op" in captured.err
+
+    def test_timing_disabled_by_default(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_PASS_TIMING", raising=False)
+        PassManager([NoOpPass()]).run(build_module())
+        assert capsys.readouterr().err == ""

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.dialects import arith, varith
 from repro.dialects.builtin import ModuleOp
-from repro.ir import PatternRewriteWalker, f32
+from repro.ir import f32
 from repro.ir.printer import print_module
 from repro.transforms.arith_to_varith import ArithToVarithPass
 from repro.transforms.canonicalize import CanonicalizePass

@@ -1,0 +1,219 @@
+"""Edge-case tests for the worklist-based greedy rewrite driver."""
+
+import pytest
+
+from repro.dialects import arith
+from repro.dialects.builtin import ModuleOp
+from repro.ir import (
+    GreedyRewriteDriver,
+    PatternRewriter,
+    RewritePattern,
+    TypedPattern,
+    VerifyException,
+    apply_patterns_greedily,
+    f32,
+    op_rewrite_pattern,
+    use_restarting_driver,
+)
+from repro.ir.operation import Block, Operation, Region, UnregisteredOp
+from repro.ir.rewriting import GreedyRewritePatternApplier
+from repro.ir.traits import Pure
+
+
+class FooOp(Operation):
+    name = "test.foo"
+
+
+class BarOp(Operation):
+    name = "test.bar"
+
+
+class BazOp(Operation):
+    name = "test.baz"
+
+
+class FooToBar(RewritePattern):
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: FooOp, rewriter: PatternRewriter) -> None:
+        rewriter.replace_matched_op(BarOp())
+
+
+class BarToBaz(RewritePattern):
+    @op_rewrite_pattern
+    def match_and_rewrite(self, op: BarOp, rewriter: PatternRewriter) -> None:
+        rewriter.replace_matched_op(BazOp())
+
+
+class TestTypeDispatch:
+    def test_decorator_records_root_types(self):
+        assert FooToBar().root_op_types() == (FooOp,)
+
+    def test_decorator_union_annotation(self):
+        class Multi(RewritePattern):
+            @op_rewrite_pattern
+            def match_and_rewrite(
+                self, op: FooOp | BarOp, rewriter: PatternRewriter
+            ) -> None:
+                pass
+
+        assert set(Multi().root_op_types()) == {FooOp, BarOp}
+
+    def test_typed_pattern_root_types(self):
+        class Typed(TypedPattern):
+            op_type = FooOp
+
+        assert Typed().root_op_types() == (FooOp,)
+
+    def test_pattern_without_annotation_matches_any(self):
+        class AnyPattern(RewritePattern):
+            def match_and_rewrite(self, op, rewriter):
+                pass
+
+        assert AnyPattern().root_op_types() is None
+
+    def test_dispatch_skips_non_matching_op_classes(self):
+        calls = []
+
+        class Counting(RewritePattern):
+            @op_rewrite_pattern
+            def match_and_rewrite(self, op: arith.AddfOp, rewriter) -> None:
+                calls.append(op)
+
+        c0 = arith.ConstantOp(1.0, f32)
+        c1 = arith.ConstantOp(2.0, f32)
+        add = arith.AddfOp(c0.result, c1.result)
+        module = ModuleOp([c0, c1, add])
+
+        driver = GreedyRewriteDriver(Counting())
+        driver.rewrite_module(module)
+        # Dispatch never ran the pattern for the constants or the module.
+        assert calls == [add]
+
+    def test_applier_union_preserves_order(self):
+        applier = GreedyRewritePatternApplier([FooToBar(), BarToBaz()])
+        assert set(applier.root_op_types()) == {FooOp, BarOp}
+
+
+class TestWorklistReEnqueue:
+    def test_created_ops_are_rewritten_in_same_run(self):
+        """A rewrite chain foo -> bar -> baz converges in one driver run."""
+        module = ModuleOp([FooOp(), FooOp()])
+        changed = apply_patterns_greedily(module, [FooToBar(), BarToBaz()])
+        assert changed
+        kinds = [type(op) for op in module.ops]
+        assert kinds == [BazOp, BazOp]
+
+    def test_dead_definer_cascade(self):
+        """Erasing a user re-enqueues its operand definers, so a whole dead
+        chain disappears in one run."""
+
+        class RemoveDeadPure(RewritePattern):
+            def match_and_rewrite(self, op, rewriter):
+                if Pure not in op.traits or not op.results:
+                    return
+                if any(result.has_uses for result in op.results):
+                    return
+                rewriter.erase_matched_op()
+
+        c0 = arith.ConstantOp(1.0, f32)
+        c1 = arith.ConstantOp(2.0, f32)
+        add = arith.AddfOp(c0.result, c1.result)  # unused
+        module = ModuleOp([c0, c1, add])
+        apply_patterns_greedily(module, RemoveDeadPure())
+        assert list(module.ops) == []
+
+    def test_no_change_returns_false(self):
+        module = ModuleOp([BazOp()])
+        assert not apply_patterns_greedily(module, [FooToBar(), BarToBaz()])
+
+
+class TestEraseEdgeCases:
+    def test_erasing_op_with_used_results_raises(self):
+        class BadErase(RewritePattern):
+            @op_rewrite_pattern
+            def match_and_rewrite(
+                self, op: arith.ConstantOp, rewriter: PatternRewriter
+            ) -> None:
+                rewriter.erase_matched_op()
+
+        c0 = arith.ConstantOp(1.0, f32)
+        c1 = arith.ConstantOp(2.0, f32)
+        add = arith.AddfOp(c0.result, c1.result)
+        module = ModuleOp([c0, c1, add])
+        with pytest.raises(VerifyException, match="still has uses"):
+            apply_patterns_greedily(module, BadErase())
+
+    def test_nested_region_op_erased_mid_walk(self):
+        """Ops inside an erased enclosing op must not be rewritten, even
+        though only the subtree root was detached."""
+        rewritten_inside_detached = []
+
+        class EraseOuter(RewritePattern):
+            def match_and_rewrite(self, op, rewriter):
+                if isinstance(op, UnregisteredOp) and op.name == "test.outer":
+                    rewriter.erase_matched_op()
+
+        class TrackFoo(RewritePattern):
+            @op_rewrite_pattern
+            def match_and_rewrite(self, op: FooOp, rewriter: PatternRewriter):
+                rewritten_inside_detached.append(op)
+                rewriter.replace_matched_op(BarOp())
+
+        inner = [FooOp(), FooOp()]
+        outer = UnregisteredOp(
+            "test.outer", regions=[Region([Block(ops=inner)])]
+        )
+        module = ModuleOp([outer])
+        apply_patterns_greedily(module, [EraseOuter(), TrackFoo()])
+        assert list(module.ops) == []
+        # The seeded inner ops were skipped once their ancestor was erased.
+        assert rewritten_inside_detached == []
+
+
+class TestConvergenceBound:
+    def test_non_converging_pattern_hits_rewrite_bound(self):
+        class Flip(RewritePattern):
+            @op_rewrite_pattern
+            def match_and_rewrite(self, op: FooOp, rewriter: PatternRewriter):
+                rewriter.replace_matched_op(FooOp())
+
+        module = ModuleOp([FooOp()])
+        driver = GreedyRewriteDriver(Flip(), max_rewrites=25)
+        with pytest.raises(VerifyException, match="did not converge"):
+            driver.rewrite_module(module)
+
+    def test_rewrite_count_reported(self):
+        module = ModuleOp([FooOp(), FooOp(), FooOp()])
+        driver = GreedyRewriteDriver([FooToBar(), BarToBaz()])
+        driver.rewrite_module(module)
+        assert driver.num_rewrites == 6  # two rewrites per foo
+
+
+class TestDriverEquivalenceSmall:
+    def test_matches_restarting_walker_on_dce_chain(self):
+        def build():
+            c0 = arith.ConstantOp(1.0, f32)
+            c1 = arith.ConstantOp(2.0, f32)
+            add = arith.AddfOp(c0.result, c1.result)
+            mul = arith.MulfOp(add.result, add.result)
+            return ModuleOp([c0, c1, add, mul])
+
+        from repro.transforms.canonicalize import (
+            FlattenSingleOperandVarith,
+            FoldConstantArith,
+            RemoveDeadPureOps,
+        )
+
+        patterns = lambda: [
+            FoldConstantArith(),
+            FlattenSingleOperandVarith(),
+            RemoveDeadPureOps(),
+        ]
+        from repro.ir.printer import print_module
+
+        worklist_module = build()
+        apply_patterns_greedily(worklist_module, patterns())
+        restart_module = build()
+        with use_restarting_driver():
+            apply_patterns_greedily(restart_module, patterns())
+        assert print_module(worklist_module) == print_module(restart_module)

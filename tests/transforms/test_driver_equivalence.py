@@ -1,0 +1,30 @@
+"""Golden-output equivalence: worklist driver vs the legacy restarting walker.
+
+The worklist driver must not change what the compiler produces — only how
+fast it produces it.  These tests run the *entire* lowering pipeline twice
+per benchmark program, once per driver, and require the final csl-ir modules
+to print identically.
+"""
+
+import pytest
+
+from repro.benchmarks import benchmark_by_name
+from repro.ir.printer import print_module
+from repro.ir.rewriting import use_restarting_driver
+from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+
+
+def _compile(name: str) -> str:
+    bench = benchmark_by_name(name)
+    program = bench.program(nx=6, ny=6, nz=16, time_steps=2)
+    result = compile_stencil_program(
+        program, PipelineOptions(grid_width=6, grid_height=6, num_chunks=2)
+    )
+    return print_module(result.module)
+
+
+@pytest.mark.parametrize("name", ["Jacobian", "Seismic", "UVKBE"])
+def test_worklist_driver_matches_restarting_walker(name):
+    with use_restarting_driver():
+        golden = _compile(name)
+    assert _compile(name) == golden
