@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench lint
+.PHONY: test bench service service-smoke lint
 
 # Tier-1 verification: the whole suite, fail fast.
 test:
@@ -10,6 +10,20 @@ test:
 # Benchmarks only (compile-time trajectory + paper figures).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Compilation service: unit + throughput tests, then the CLI smoke path.
+service:
+	$(PYTHON) -m pytest tests/service benchmarks/test_service_throughput.py -q
+	$(MAKE) service-smoke
+
+# CLI smoke path only: compile a batch twice to show warm-cache reuse,
+# inspect the store, purge it.  CI runs this after `make test`, which
+# already executes the service test suite.
+service-smoke:
+	REPRO_CACHE_DIR=$$(mktemp -d) sh -c '\
+	  $(PYTHON) -m repro.service compile Jacobian UVKBE --grid 4x4 --repeat 2 && \
+	  $(PYTHON) -m repro.service stats && \
+	  $(PYTHON) -m repro.service purge'
 
 # No third-party linter is vendored; byte-compiling everything still catches
 # syntax errors and obvious breakage in one second.

@@ -1,0 +1,139 @@
+"""Throughput measurements of the compilation service.
+
+Three claims are pinned down:
+
+* a warm-cache recompile of a benchmark is at least **10x** faster than its
+  cold compile (the artifact is served from the content-addressed cache
+  instead of re-running the 17-pass pipeline);
+* a parallel batch of 8 distinct configurations beats compiling the same
+  batch serially, with 2+ pool workers (asserted on hosts with at least two
+  usable CPUs; single-CPU hosts cannot express the parallelism and skip);
+* a pooled batch produces byte-identical artifacts to serial compilation,
+  so the parallelism is free of determinism hazards.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.benchmarks import benchmark_by_name
+from repro.service.service import CompileService
+from repro.transforms.pipeline import PipelineOptions
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _seismic_config():
+    benchmark = benchmark_by_name("Seismic")
+    program = benchmark.program(nx=9, ny=9, nz=32, time_steps=2)
+    options = PipelineOptions(grid_width=9, grid_height=9, num_chunks=2)
+    return program, options
+
+
+def _batch_configs():
+    """8 distinct configurations spanning benchmarks, targets and chunking."""
+    configs = []
+    for name, grid in (("Seismic", 9), ("Diffusion", 5)):
+        benchmark = benchmark_by_name(name)
+        program = benchmark.program(nx=grid, ny=grid, nz=32, time_steps=2)
+        for target in ("wse2", "wse3"):
+            for num_chunks in (1, 2):
+                configs.append(
+                    (
+                        program,
+                        PipelineOptions(
+                            grid_width=grid,
+                            grid_height=grid,
+                            num_chunks=num_chunks,
+                            target=target,
+                        ),
+                    )
+                )
+    assert len(configs) == 8
+    assert len({id(options) for _, options in configs}) == 8
+    return configs
+
+
+def test_warm_cache_recompile_is_at_least_10x_faster(tmp_path):
+    program, options = _seismic_config()
+    with CompileService(cache_dir=tmp_path / "store") as service:
+        start = time.perf_counter()
+        cold_artifact = service.submit(program, options).result()
+        cold_seconds = time.perf_counter() - start
+        assert service.statistics.inline_compiles == 1
+
+        warm_seconds = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            warm_artifact = service.submit(program, options).result()
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+        assert service.statistics.inline_compiles == 1  # never recompiled
+        assert warm_artifact == cold_artifact
+
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= 10.0, (
+        f"warm recompile only {speedup:.1f}x faster than cold "
+        f"({warm_seconds * 1e3:.3f} ms vs {cold_seconds * 1e3:.1f} ms)"
+    )
+
+
+def test_warm_disk_store_survives_a_service_restart(tmp_path):
+    program, options = _seismic_config()
+    with CompileService(cache_dir=tmp_path / "store") as first:
+        first.compile(program, options)
+    # A fresh service (fresh memory tier) over the same store still avoids
+    # the pipeline entirely.
+    with CompileService(cache_dir=tmp_path / "store") as second:
+        second.compile(program, options)
+    assert second.statistics.inline_compiles == 0
+    assert second.cache.statistics.disk_hits == 1
+
+
+@pytest.mark.skipif(
+    _usable_cpus() < 2,
+    reason="parallel-vs-serial wall-clock needs at least 2 usable CPUs",
+)
+def test_parallel_batch_beats_serial_compilation(tmp_path):
+    configs = _batch_configs()
+    workers = min(4, _usable_cpus())
+    assert workers >= 2
+
+    with CompileService(cache_dir=tmp_path / "serial-store") as serial:
+        start = time.perf_counter()
+        for future in serial.submit_batch(configs):
+            future.result()
+        serial_seconds = time.perf_counter() - start
+    assert serial.statistics.inline_compiles == 8
+
+    with CompileService(
+        max_workers=workers, cache_dir=tmp_path / "parallel-store"
+    ) as parallel:
+        start = time.perf_counter()
+        for future in parallel.submit_batch(configs):
+            future.result()
+        parallel_seconds = time.perf_counter() - start
+    assert parallel.statistics.pool_compiles == 8
+
+    assert parallel_seconds < serial_seconds, (
+        f"parallel batch ({workers} workers) took {parallel_seconds * 1e3:.1f} ms, "
+        f"serial took {serial_seconds * 1e3:.1f} ms"
+    )
+
+
+def test_pooled_batch_matches_serial_artifacts_byte_for_byte(tmp_path):
+    configs = _batch_configs()
+    with CompileService(cache_dir=tmp_path / "serial-store") as serial:
+        expected = [f.result() for f in serial.submit_batch(configs)]
+    with CompileService(
+        max_workers=2, cache_dir=tmp_path / "parallel-store"
+    ) as parallel:
+        actual = [f.result() for f in parallel.submit_batch(configs)]
+    for serial_artifact, pooled_artifact in zip(expected, actual):
+        assert pooled_artifact.fingerprint == serial_artifact.fingerprint
+        assert pooled_artifact.csl_sources == serial_artifact.csl_sources

@@ -1,8 +1,11 @@
 """Regenerate every table and figure of the paper's evaluation.
 
 Prints the data behind Figures 4-7 and Table 1 (see EXPERIMENTS.md for the
-paper-vs-measured comparison).  Equivalent to running the benchmark harness
-with ``pytest benchmarks/ --benchmark-only`` but as a plain script.
+paper-vs-measured comparison).  All calibration compiles go through the
+compilation service (``repro.service``), whose content-addressed cache
+compiles each distinct (benchmark, target, chunks) configuration once and
+serves every repeat warm — the statistics block at the end of the report
+shows how many compiles the cache absorbed.
 
 Run with:  python examples/reproduce_paper.py
 """

@@ -11,7 +11,8 @@ from dataclasses import dataclass
 
 from repro.backend.loc import LocReport, loc_report
 from repro.benchmarks.definitions import BENCHMARKS, Benchmark
-from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.service.service import default_service
+from repro.transforms.pipeline import PipelineOptions
 
 #: the compile grid used to generate the counted CSL (the generated program
 #: is identical for every grid extent; only the layout parameters change).
@@ -22,7 +23,7 @@ def _compile_for_loc(benchmark: Benchmark) -> LocReport:
     radius = 4 if benchmark.stencil_points >= 25 else 2
     grid = max(_LOC_GRID, 2 * radius + 1)
     program = benchmark.program(nx=grid, ny=grid, nz=benchmark.z_dim, time_steps=2)
-    result = compile_stencil_program(
+    result = default_service().compile_ir(
         program,
         PipelineOptions(grid_width=grid, grid_height=grid, num_chunks=2),
     )

@@ -44,6 +44,16 @@ class Expression:
         """All field accesses in the expression, in evaluation order."""
         raise NotImplementedError
 
+    def canonical(self) -> list:
+        """A process-stable, JSON-serialisable form of the expression.
+
+        Used by :mod:`repro.service.fingerprint` to content-address compiled
+        artifacts: two structurally identical expressions must canonicalise
+        to the same value in every Python process (no ``id()``, no set
+        iteration order, no hash randomisation).
+        """
+        raise NotImplementedError
+
 
 ExpressionLike = Union["Expression", int, float]
 
@@ -65,6 +75,9 @@ class Constant(Expression):
     def accesses(self) -> list["FieldAccess"]:
         return []
 
+    def canonical(self) -> list:
+        return ["const", self.value]
+
 
 @dataclass
 class FieldAccess(Expression):
@@ -76,6 +89,9 @@ class FieldAccess(Expression):
     def accesses(self) -> list["FieldAccess"]:
         return [self]
 
+    def canonical(self) -> list:
+        return ["access", self.field, list(self.offset)]
+
 
 @dataclass
 class Add(Expression):
@@ -86,6 +102,9 @@ class Add(Expression):
     def accesses(self) -> list["FieldAccess"]:
         return [access for term in self.terms for access in term.accesses()]
 
+    def canonical(self) -> list:
+        return ["add", [term.canonical() for term in self.terms]]
+
 
 @dataclass
 class Mul(Expression):
@@ -95,6 +114,9 @@ class Mul(Expression):
 
     def accesses(self) -> list["FieldAccess"]:
         return [access for factor in self.factors for access in factor.accesses()]
+
+    def canonical(self) -> list:
+        return ["mul", [factor.canonical() for factor in self.factors]]
 
 
 # --------------------------------------------------------------------------- #
@@ -116,6 +138,9 @@ class FieldDecl:
     def field_type(self) -> stencil.FieldType:
         return stencil.FieldType(self.bounds(), f32)
 
+    def canonical(self) -> list:
+        return ["field", self.name, list(self.shape), list(self.halo)]
+
 
 @dataclass
 class StencilEquation:
@@ -126,6 +151,9 @@ class StencilEquation:
 
     def reads(self) -> list[str]:
         return sorted({access.field for access in self.expression.accesses()})
+
+    def canonical(self) -> list:
+        return ["eq", self.output, self.expression.canonical()]
 
 
 @dataclass
@@ -146,6 +174,20 @@ class StencilProgram:
     @property
     def interior_shape(self) -> tuple[int, int, int]:
         return self.fields[0].shape
+
+    def canonical(self) -> dict:
+        """Process-stable, JSON-serialisable description of the program.
+
+        This is the program half of the artifact fingerprint
+        (:mod:`repro.service.fingerprint`); field and equation order are
+        preserved because both influence the emitted IR.
+        """
+        return {
+            "name": self.name,
+            "fields": [decl.canonical() for decl in self.fields],
+            "equations": [equation.canonical() for equation in self.equations],
+            "time_steps": self.time_steps,
+        }
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,47 @@
+"""The compilation service: content-addressed caching and batched compiles.
+
+Layered on top of the one-shot ``compile_stencil_program``:
+
+* :mod:`repro.service.fingerprint` — canonical, process-stable content hash
+  of a (program, options, pipeline-version) triple;
+* :mod:`repro.service.cache` — two-tier artifact cache (in-memory LRU over
+  an on-disk store) keyed by fingerprint;
+* :mod:`repro.service.service` — :class:`CompileService`, which serves
+  cache hits and fans cache misses out over a process pool;
+* :mod:`repro.service.cli` — ``python -m repro.service`` batch front door.
+"""
+
+from repro.service.cache import (
+    ArtifactCache,
+    CacheStatistics,
+    CompiledArtifact,
+    DiskArtifactCache,
+    InMemoryArtifactCache,
+    REPRO_CACHE_DIR_ENV,
+)
+from repro.service.fingerprint import canonical_json, compute_fingerprint
+from repro.service.service import (
+    CompileJob,
+    CompileService,
+    ServiceStatistics,
+    build_artifact,
+    default_service,
+    reset_default_service,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStatistics",
+    "CompileJob",
+    "CompileService",
+    "CompiledArtifact",
+    "DiskArtifactCache",
+    "InMemoryArtifactCache",
+    "REPRO_CACHE_DIR_ENV",
+    "ServiceStatistics",
+    "build_artifact",
+    "canonical_json",
+    "compute_fingerprint",
+    "default_service",
+    "reset_default_service",
+]

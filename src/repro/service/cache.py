@@ -1,0 +1,254 @@
+"""Two-tier artifact cache: in-memory LRU over an on-disk store.
+
+Artifacts are keyed by the content fingerprint of their inputs
+(:mod:`repro.service.fingerprint`).  The memory tier absorbs repeat compiles
+within a process; the disk tier survives restarts and is shared with pool
+workers, which write compiled artifacts straight into it.  Disk writes are
+atomic (write-to-temp + ``os.replace``) so concurrent workers can populate
+the same store without torn files.
+
+The store location is ``~/.cache/repro-csl`` unless overridden by the
+``REPRO_CACHE_DIR`` environment variable or an explicit ``directory``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: environment variable overriding the on-disk store location.
+REPRO_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: current on-disk artifact schema; bumping it invalidates old stores.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CompiledArtifact:
+    """Everything a cache hit has to hand back for one compilation.
+
+    Only plain JSON-serialisable data lives here — the artifact crosses
+    process boundaries (pool workers return it) and is persisted to disk.
+    """
+
+    fingerprint: str
+    program_name: str
+    target: str
+    grid_width: int
+    grid_height: int
+    #: printed CSL text keyed by file name (program + layout modules).
+    csl_sources: dict[str, str]
+    #: pipeline statistics summary: total wall time / rewrites + per-pass rows.
+    statistics: dict
+    schema_version: int = ARTIFACT_SCHEMA_VERSION
+
+    def total_source_bytes(self) -> int:
+        return sum(len(text.encode("utf-8")) for text in self.csl_sources.values())
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompiledArtifact":
+        data = json.loads(text)
+        if data.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            raise ValueError(
+                f"artifact schema {data.get('schema_version')!r} does not "
+                f"match current version {ARTIFACT_SCHEMA_VERSION}"
+            )
+        return cls(**data)
+
+
+@dataclass
+class CacheStatistics:
+    """Hit / miss / eviction counters of one :class:`ArtifactCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class InMemoryArtifactCache:
+    """Bounded LRU map from fingerprint to artifact."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CompiledArtifact]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> CompiledArtifact | None:
+        artifact = self._entries.get(fingerprint)
+        if artifact is not None:
+            self._entries.move_to_end(fingerprint)
+        return artifact
+
+    def put(self, artifact: CompiledArtifact) -> None:
+        self._entries[artifact.fingerprint] = artifact
+        self._entries.move_to_end(artifact.fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def resolve_cache_directory(directory: str | os.PathLike | None = None) -> Path:
+    """Explicit argument > ``REPRO_CACHE_DIR`` > ``~/.cache/repro-csl``."""
+    if directory is not None:
+        return Path(directory)
+    override = os.environ.get(REPRO_CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-csl"
+
+
+class DiskArtifactCache:
+    """On-disk artifact store: one ``<fingerprint>.json`` file per artifact."""
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = resolve_cache_directory(directory)
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).is_file()
+
+    def get(self, fingerprint: str) -> CompiledArtifact | None:
+        path = self._path(fingerprint)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return CompiledArtifact.from_json(text)
+        except (ValueError, TypeError, KeyError):
+            # Stale schema or a corrupt file: treat as a miss; the fresh
+            # compile overwrites it.
+            return None
+
+    def put(self, artifact: CompiledArtifact) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Atomic publish so concurrent pool workers never expose torn files.
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=self.directory,
+            prefix=f".{artifact.fingerprint[:12]}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(artifact.to_json())
+            os.replace(handle.name, self._path(artifact.fingerprint))
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def total_bytes(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                # Concurrently purged by another process; stale-by-one is fine.
+                pass
+        return total
+
+    def purge(self) -> int:
+        """Delete every stored artifact; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+class ArtifactCache:
+    """The two tiers behind one get/put interface, with counters.
+
+    Lookups try memory first, then disk (promoting disk hits into memory);
+    stores write through to both tiers.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        memory_capacity: int = 256,
+    ):
+        self.memory = InMemoryArtifactCache(memory_capacity)
+        self.disk = DiskArtifactCache(directory)
+        self.statistics = CacheStatistics()
+
+    def get(self, fingerprint: str) -> CompiledArtifact | None:
+        artifact = self.memory.get(fingerprint)
+        if artifact is not None:
+            self.statistics.memory_hits += 1
+            return artifact
+        artifact = self.disk.get(fingerprint)
+        if artifact is not None:
+            self.statistics.disk_hits += 1
+            self.memory.put(artifact)
+            self.statistics.evictions = self.memory.evictions
+            return artifact
+        self.statistics.misses += 1
+        return None
+
+    def put(self, artifact: CompiledArtifact) -> None:
+        self.memory.put(artifact)
+        self.disk.put(artifact)
+        self.statistics.stores += 1
+        self.statistics.evictions = self.memory.evictions
+
+    def put_memory_only(self, artifact: CompiledArtifact) -> None:
+        """Mirror an artifact that is already on disk into the memory tier
+        (pool workers publish to the shared store themselves; ``stores``
+        counts only this cache's own disk writes)."""
+        self.memory.put(artifact)
+        self.statistics.evictions = self.memory.evictions
+
+    def purge(self) -> int:
+        self.memory.clear()
+        return self.disk.purge()

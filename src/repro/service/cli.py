@@ -1,0 +1,172 @@
+"""``python -m repro.service`` — batch compilation front door.
+
+Three subcommands:
+
+* ``compile BENCH [BENCH ...]`` — compile named paper benchmarks through the
+  service (optionally in parallel and/or repeated to show warm-cache reuse)
+  and print per-job outcomes plus the service statistics;
+* ``stats`` — describe the on-disk artifact store;
+* ``purge`` — empty the on-disk artifact store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.benchmarks.definitions import BENCHMARKS, benchmark_by_name
+from repro.service.cache import DiskArtifactCache
+from repro.service.service import CompileService
+from repro.transforms.pipeline import PipelineOptions
+
+
+def _parse_grid(text: str) -> tuple[int, int]:
+    try:
+        width_text, height_text = text.lower().split("x", 1)
+        return int(width_text), int(height_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid grid {text!r}: expected WIDTHxHEIGHT, e.g. 4x4"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Cached, batched compilation of the paper benchmarks.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile named benchmarks through the service"
+    )
+    compile_parser.add_argument(
+        "benchmarks",
+        nargs="+",
+        metavar="BENCH",
+        help=f"benchmark names ({', '.join(b.name for b in BENCHMARKS)})",
+    )
+    compile_parser.add_argument(
+        "--grid",
+        type=_parse_grid,
+        default=(4, 4),
+        metavar="WxH",
+        help="PE grid extent (default 4x4)",
+    )
+    compile_parser.add_argument(
+        "--num-chunks", type=int, default=2, help="communication chunks"
+    )
+    compile_parser.add_argument(
+        "--target", choices=("wse2", "wse3"), default="wse2"
+    )
+    compile_parser.add_argument(
+        "--nz", type=int, default=16, help="z extent of the compiled program"
+    )
+    compile_parser.add_argument(
+        "--time-steps", type=int, default=2, help="time-step count"
+    )
+    compile_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool workers (0 = compile inline)",
+    )
+    compile_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="submit the batch N times (repeats exercise the warm cache)",
+    )
+    compile_parser.add_argument(
+        "--cache-dir", default=None, help="override the artifact store location"
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="describe the on-disk artifact store"
+    )
+    stats_parser.add_argument("--cache-dir", default=None)
+
+    purge_parser = subparsers.add_parser(
+        "purge", help="delete every artifact in the on-disk store"
+    )
+    purge_parser.add_argument("--cache-dir", default=None)
+
+    return parser
+
+
+def _run_compile(args: argparse.Namespace, out) -> int:
+    try:
+        benchmarks = [benchmark_by_name(name) for name in args.benchmarks]
+        width, height = args.grid
+        jobs = []
+        for benchmark in benchmarks:
+            program = benchmark.program(
+                nx=width, ny=height, nz=args.nz, time_steps=args.time_steps
+            )
+            options = PipelineOptions(
+                grid_width=width,
+                grid_height=height,
+                num_chunks=args.num_chunks,
+                target=args.target,
+            )
+            jobs.append((program, options))
+        service = CompileService(max_workers=args.workers, cache_dir=args.cache_dir)
+    except (KeyError, ValueError) as error:
+        # Unknown benchmark names and out-of-range option values share the
+        # friendly error path instead of a traceback.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    with service:
+        for round_index in range(args.repeat):
+            round_start = time.perf_counter()
+            hits_before = service.statistics.cache_hits
+            futures = service.submit_batch(jobs)
+            artifacts = [future.result() for future in futures]
+            elapsed = time.perf_counter() - round_start
+            hits = service.statistics.cache_hits - hits_before
+            print(
+                f"round {round_index + 1}/{args.repeat}: "
+                f"{len(artifacts)} artifacts in {elapsed * 1e3:.1f} ms "
+                f"({hits} served from cache)",
+                file=out,
+            )
+            for benchmark, artifact in zip(benchmarks, artifacts):
+                total_ms = artifact.statistics.get("total_wall_time", 0.0) * 1e3
+                print(
+                    f"  {artifact.fingerprint[:12]}  {benchmark.name:<10} "
+                    f"{args.target}  {width}x{height}  "
+                    f"{len(artifact.csl_sources)} files  "
+                    f"{artifact.total_source_bytes()} bytes  "
+                    f"(pipeline {total_ms:.1f} ms)",
+                    file=out,
+                )
+        print(service.format_statistics(), file=out)
+    return 0
+
+
+def _run_stats(args: argparse.Namespace, out) -> int:
+    store = DiskArtifactCache(args.cache_dir)
+    print(f"artifact store: {store.directory}", file=out)
+    print(f"  artifacts: {len(store)}", file=out)
+    print(f"  bytes:     {store.total_bytes()}", file=out)
+    return 0
+
+
+def _run_purge(args: argparse.Namespace, out) -> int:
+    store = DiskArtifactCache(args.cache_dir)
+    removed = store.purge()
+    print(f"purged {removed} artifacts from {store.directory}", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "compile":
+        return _run_compile(args, out)
+    if args.command == "stats":
+        return _run_stats(args, out)
+    if args.command == "purge":
+        return _run_purge(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

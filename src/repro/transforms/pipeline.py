@@ -9,6 +9,7 @@ an executable PE program is built (:mod:`repro.backend.executable`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.dialects.builtin import ModuleOp
 from repro.frontends.common import StencilProgram, build_stencil_module
@@ -33,6 +34,12 @@ from repro.transforms.tensorize_z import TensorizeZDimensionPass
 from repro.transforms.varith_fuse_repeated_operands import (
     VarithFuseRepeatedOperandsPass,
 )
+
+#: Version stamp of the lowering pipeline, mixed into artifact fingerprints
+#: (:mod:`repro.service.fingerprint`).  Bump it whenever a pass changes the
+#: CSL it emits for an unchanged input program, so stale cached artifacts are
+#: never served after a compiler change.
+PIPELINE_VERSION = 2
 
 
 @dataclass
@@ -74,6 +81,55 @@ class PipelineOptions:
             raise ValueError(
                 f"num_chunks must be at least 1, got {self.num_chunks}"
             )
+
+    @classmethod
+    def default_for(cls, program: StencilProgram) -> "PipelineOptions":
+        """The default options for a program: one PE per interior (x, y)
+        cell.  The single source of this rule — the compilation service
+        derives fingerprints from it, so it must match what a plain
+        ``compile_stencil_program(program)`` call would use."""
+        nx, ny, _ = program.interior_shape
+        return cls(grid_width=nx, grid_height=ny)
+
+    def canonical(self) -> dict:
+        """Process-stable, JSON-serialisable form of every artifact-relevant
+        knob.
+
+        ``verify_each`` is deliberately excluded: it only toggles
+        verification between passes and cannot change the emitted CSL, so two
+        compiles differing only in it share one cached artifact.
+        """
+        return {
+            "grid_width": self.grid_width,
+            "grid_height": self.grid_height,
+            "num_chunks": self.num_chunks,
+            "target": self.target,
+            "enable_stencil_inlining": self.enable_stencil_inlining,
+            "enable_varith_fusion": self.enable_varith_fusion,
+            "enable_fmac_fusion": self.enable_fmac_fusion,
+            "enable_memory_optimization": self.enable_memory_optimization,
+        }
+
+
+@lru_cache(maxsize=None)
+def _pass_description_for(canonical_key: tuple) -> str:
+    options = PipelineOptions(**dict(canonical_key))
+    return build_pass_pipeline(options).pipeline_description
+
+
+def pipeline_stamp(options: PipelineOptions) -> dict:
+    """The pipeline half of an artifact fingerprint: the version stamp plus
+    the exact pass sequence the options select (so toggling an optimisation
+    flag, which edits the pass list, also changes the stamp).
+
+    Fingerprints are computed on every service request including warm cache
+    hits, so the pass description is memoised per option set rather than
+    instantiating all 17 pass objects each time.
+    """
+    return {
+        "version": PIPELINE_VERSION,
+        "passes": _pass_description_for(tuple(sorted(options.canonical().items()))),
+    }
 
 
 def build_pass_pipeline(options: PipelineOptions) -> PassManager:
@@ -165,8 +221,7 @@ def compile_stencil_program(
 ) -> CompilationResult:
     """Run the full pipeline: stencil program description -> csl-ir module."""
     if options is None:
-        nx, ny, _ = program.interior_shape
-        options = PipelineOptions(grid_width=nx, grid_height=ny)
+        options = PipelineOptions.default_for(program)
     module = build_stencil_module(program)
     module.verify()
     pipeline = build_pass_pipeline(options)

@@ -27,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.benchmarks.definitions import Benchmark, ProblemSize
-from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.service.service import default_service
+from repro.transforms.pipeline import PipelineOptions
 from repro.wse.machine import WseMachineSpec
 from repro.wse.simulator import WseSimulator
 
@@ -96,7 +97,10 @@ def measure_pe_activity(
         num_chunks=num_chunks,
         target=machine.name,
     )
-    result = compile_stencil_program(program, options)
+    # The service memoises by content fingerprint, so the many figures that
+    # calibrate against the same (benchmark, target, chunks) configuration
+    # compile it exactly once per process.
+    result = default_service().compile_ir(program, options)
     simulator = WseSimulator(result.program_module)
     simulator.execute()
 

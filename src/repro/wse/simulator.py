@@ -29,6 +29,7 @@ class SimulationStatistics:
     tasks_run: int = 0
     exchanges: int = 0
     dsd_ops: int = 0
+    dsd_elements: int = 0
     wavelets_sent: int = 0
     max_pe_memory_bytes: int = 0
 
@@ -65,6 +66,17 @@ class WseSimulator:
     def pe(self, x: int, y: int) -> ProcessingElement:
         return self.grid[y][x]
 
+    def _field_buffer(self, pe: ProcessingElement, name: str) -> np.ndarray:
+        """A PE's buffer for ``name``, or a diagnosable error if absent."""
+        try:
+            return pe.buffers[name]
+        except KeyError:
+            available = ", ".join(sorted(pe.buffers)) or "<none>"
+            raise KeyError(
+                f"unknown field '{name}' on PE ({pe.x}, {pe.y}); "
+                f"available buffers: {available}"
+            ) from None
+
     def load_field(self, name: str, columns: np.ndarray) -> None:
         """Scatter a ``(width, height, z)`` array of columns onto the PEs."""
         if columns.shape[:2] != (self.width, self.height):
@@ -74,7 +86,7 @@ class WseSimulator:
             )
         for y in range(self.height):
             for x in range(self.width):
-                buffer = self.pe(x, y).buffers[name]
+                buffer = self._field_buffer(self.pe(x, y), name)
                 column = columns[x, y]
                 if column.shape[0] != buffer.shape[0]:
                     raise ValueError(
@@ -85,11 +97,11 @@ class WseSimulator:
 
     def read_field(self, name: str) -> np.ndarray:
         """Gather a field back into a ``(width, height, z)`` array."""
-        z_length = self.pe(0, 0).buffers[name].shape[0]
+        z_length = self._field_buffer(self.pe(0, 0), name).shape[0]
         result = np.zeros((self.width, self.height, z_length), dtype=np.float32)
         for y in range(self.height):
             for x in range(self.width):
-                result[x, y, :] = self.pe(x, y).buffers[name]
+                result[x, y, :] = self._field_buffer(self.pe(x, y), name)
         return result
 
     # ------------------------------------------------------------------ #
@@ -135,6 +147,7 @@ class WseSimulator:
                 stats.tasks_run += pe.counters["tasks_run"]
                 stats.exchanges += pe.counters["exchanges"]
                 stats.dsd_ops += pe.counters["dsd_ops"]
+                stats.dsd_elements += pe.counters["dsd_elements"]
                 stats.wavelets_sent += pe.counters["wavelets_sent"]
                 stats.max_pe_memory_bytes = max(
                     stats.max_pe_memory_bytes, pe.memory_in_use()

@@ -1,0 +1,15 @@
+"""Service-test isolation: every test gets a private artifact store."""
+
+import pytest
+
+from repro.service import REPRO_CACHE_DIR_ENV, reset_default_service
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the store at a per-test directory and drop the shared service."""
+    store = tmp_path / "artifact-store"
+    monkeypatch.setenv(REPRO_CACHE_DIR_ENV, str(store))
+    reset_default_service()
+    yield store
+    reset_default_service()

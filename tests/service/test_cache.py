@@ -1,0 +1,136 @@
+"""The two cache tiers: LRU behaviour, disk roundtrips, overrides, purge."""
+
+import os
+
+from repro.service.cache import (
+    ArtifactCache,
+    CompiledArtifact,
+    DiskArtifactCache,
+    InMemoryArtifactCache,
+    REPRO_CACHE_DIR_ENV,
+    resolve_cache_directory,
+)
+
+
+def make_artifact(tag: str) -> CompiledArtifact:
+    return CompiledArtifact(
+        fingerprint=f"{tag:0>64}",
+        program_name=f"program_{tag}",
+        target="wse2",
+        grid_width=4,
+        grid_height=4,
+        csl_sources={
+            f"{tag}.csl": f"// program {tag}\n",
+            f"{tag}_layout.csl": f"// layout {tag}\n",
+        },
+        statistics={"total_wall_time": 0.01, "total_rewrites": 3, "passes": []},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Memory tier
+# --------------------------------------------------------------------------- #
+
+
+def test_memory_tier_is_lru():
+    cache = InMemoryArtifactCache(capacity=2)
+    a, b, c = make_artifact("a"), make_artifact("b"), make_artifact("c")
+    cache.put(a)
+    cache.put(b)
+    assert cache.get(a.fingerprint) is a  # refresh a, making b the LRU entry
+    cache.put(c)
+    assert cache.evictions == 1
+    assert cache.get(b.fingerprint) is None
+    assert cache.get(a.fingerprint) is a
+    assert cache.get(c.fingerprint) is c
+
+
+# --------------------------------------------------------------------------- #
+# Disk tier
+# --------------------------------------------------------------------------- #
+
+
+def test_disk_roundtrip_preserves_every_byte(tmp_path):
+    store = DiskArtifactCache(tmp_path / "store")
+    artifact = make_artifact("roundtrip")
+    store.put(artifact)
+    loaded = store.get(artifact.fingerprint)
+    assert loaded == artifact
+    assert loaded.csl_sources == artifact.csl_sources
+    assert len(store) == 1
+    assert store.total_bytes() > 0
+
+
+def test_env_override_selects_the_store_location(tmp_path, monkeypatch):
+    override = tmp_path / "override-store"
+    monkeypatch.setenv(REPRO_CACHE_DIR_ENV, str(override))
+    assert resolve_cache_directory() == override
+    store = DiskArtifactCache()
+    store.put(make_artifact("env"))
+    assert override.is_dir() and len(list(override.glob("*.json"))) == 1
+    # An explicit directory wins over the environment.
+    explicit = tmp_path / "explicit"
+    assert DiskArtifactCache(explicit).directory == explicit
+
+
+def test_corrupt_or_stale_files_read_as_misses(tmp_path):
+    store = DiskArtifactCache(tmp_path / "store")
+    artifact = make_artifact("corrupt")
+    store.put(artifact)
+    path = store._path(artifact.fingerprint)
+    path.write_text("{not json", encoding="utf-8")
+    assert store.get(artifact.fingerprint) is None
+    # Unknown schema versions are also ignored rather than crashing.
+    store.put(artifact)
+    text = path.read_text(encoding="utf-8").replace(
+        '"schema_version": 1', '"schema_version": 999'
+    )
+    path.write_text(text, encoding="utf-8")
+    assert store.get(artifact.fingerprint) is None
+
+
+def test_purge_empties_the_store(tmp_path):
+    store = DiskArtifactCache(tmp_path / "store")
+    for tag in ("p1", "p2", "p3"):
+        store.put(make_artifact(tag))
+    assert store.purge() == 3
+    assert len(store) == 0
+    assert store.purge() == 0  # idempotent, including on a missing directory
+
+
+def test_writes_leave_no_temp_files_behind(tmp_path):
+    store = DiskArtifactCache(tmp_path / "store")
+    store.put(make_artifact("tmpcheck"))
+    leftovers = [name for name in os.listdir(store.directory) if name.endswith(".tmp")]
+    assert leftovers == []
+
+
+# --------------------------------------------------------------------------- #
+# Tiered facade
+# --------------------------------------------------------------------------- #
+
+
+def test_tiered_lookup_promotes_disk_hits_to_memory(tmp_path):
+    directory = tmp_path / "store"
+    warm = ArtifactCache(directory)
+    artifact = make_artifact("tiered")
+    warm.put(artifact)
+
+    # A fresh facade over the same directory has a cold memory tier.
+    cold = ArtifactCache(directory)
+    assert cold.get(artifact.fingerprint) == artifact
+    assert cold.statistics.disk_hits == 1
+    assert cold.get(artifact.fingerprint) == artifact
+    assert cold.statistics.memory_hits == 1
+    assert cold.statistics.misses == 0
+
+
+def test_tiered_counters_track_misses_and_stores(tmp_path):
+    cache = ArtifactCache(tmp_path / "store", memory_capacity=1)
+    assert cache.get("0" * 64) is None
+    assert cache.statistics.misses == 1
+    cache.put(make_artifact("s1"))
+    cache.put(make_artifact("s2"))  # evicts s1 from the memory tier
+    assert cache.statistics.stores == 2
+    assert cache.statistics.evictions == 1
+    assert cache.statistics.hit_rate == 0.0

@@ -1,0 +1,111 @@
+"""Fingerprint stability and sensitivity."""
+
+import pytest
+
+import repro.transforms.pipeline as pipeline_module
+from repro.frontends.common import (
+    Constant,
+    FieldAccess,
+    FieldDecl,
+    StencilEquation,
+    StencilProgram,
+)
+from repro.service.fingerprint import (
+    canonical_json,
+    compute_fingerprint,
+    fingerprint_payload,
+)
+from repro.transforms.pipeline import PipelineOptions
+
+
+def make_program(coefficient: float = 0.25) -> StencilProgram:
+    u = lambda dx, dy, dz: FieldAccess("u", (dx, dy, dz))
+    expression = (u(0, 0, 0) + u(1, 0, 0) + u(-1, 0, 0) + u(0, 1, 0)) * Constant(
+        coefficient
+    )
+    return StencilProgram(
+        name="fp_probe",
+        fields=[FieldDecl("u", (4, 4, 8)), FieldDecl("v", (4, 4, 8))],
+        equations=[StencilEquation("v", expression)],
+        time_steps=2,
+    )
+
+
+def make_options(**overrides) -> PipelineOptions:
+    settings = dict(grid_width=4, grid_height=4, num_chunks=2)
+    settings.update(overrides)
+    return PipelineOptions(**settings)
+
+
+def test_identical_inputs_share_a_fingerprint():
+    # Two independently constructed but structurally identical inputs.
+    first = compute_fingerprint(make_program(), make_options())
+    second = compute_fingerprint(make_program(), make_options())
+    assert first == second
+    assert len(first) == 64  # sha256 hex
+
+
+def test_program_changes_change_the_fingerprint():
+    base = compute_fingerprint(make_program(), make_options())
+    assert compute_fingerprint(make_program(coefficient=0.5), make_options()) != base
+
+    renamed = make_program()
+    renamed.name = "other_name"
+    assert compute_fingerprint(renamed, make_options()) != base
+
+    more_steps = make_program()
+    more_steps.time_steps = 7
+    assert compute_fingerprint(more_steps, make_options()) != base
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"grid_width": 5},
+        {"grid_height": 5},
+        {"num_chunks": 3},
+        {"target": "wse3"},
+        {"enable_stencil_inlining": False},
+        {"enable_varith_fusion": False},
+        {"enable_fmac_fusion": False},
+        {"enable_memory_optimization": False},
+    ],
+)
+def test_every_artifact_relevant_option_is_fingerprinted(overrides):
+    base = compute_fingerprint(make_program(), make_options())
+    changed = compute_fingerprint(make_program(), make_options(**overrides))
+    assert changed != base
+
+
+def test_verify_each_does_not_change_the_fingerprint():
+    # verify_each cannot change the emitted CSL, so both settings share the
+    # cached artifact.
+    relaxed = compute_fingerprint(make_program(), make_options(verify_each=False))
+    strict = compute_fingerprint(make_program(), make_options(verify_each=True))
+    assert relaxed == strict
+
+
+def test_pipeline_version_bump_invalidates_fingerprints(monkeypatch):
+    base = compute_fingerprint(make_program(), make_options())
+    monkeypatch.setattr(
+        pipeline_module, "PIPELINE_VERSION", pipeline_module.PIPELINE_VERSION + 1
+    )
+    assert compute_fingerprint(make_program(), make_options()) != base
+
+
+def test_canonical_json_is_key_order_independent():
+    assert canonical_json({"b": 1, "a": [2, 3]}) == canonical_json({"a": [2, 3], "b": 1})
+
+
+def test_payload_carries_program_options_and_pipeline_stamp():
+    payload = fingerprint_payload(make_program(), make_options())
+    assert set(payload) == {"program", "options", "pipeline"}
+    assert payload["program"]["name"] == "fp_probe"
+    assert payload["options"]["target"] == "wse2"
+    assert "verify_each" not in payload["options"]
+    # The stamp names the exact pass sequence the options select.
+    assert "stencil-inlining" in payload["pipeline"]["passes"]
+    no_inline = fingerprint_payload(
+        make_program(), make_options(enable_stencil_inlining=False)
+    )
+    assert "stencil-inlining" not in no_inline["pipeline"]["passes"]

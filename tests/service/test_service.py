@@ -1,0 +1,158 @@
+"""CompileService behaviour: hits, batches, pools, IR memoisation, CLI."""
+
+import io
+import threading
+
+from repro.service.cli import main
+from repro.service.service import CompileService, default_service
+from tests.service.test_fingerprint import make_options, make_program
+
+
+def test_inline_submit_compiles_once_then_serves_from_cache():
+    with CompileService() as service:
+        first = service.submit(make_program(), make_options()).result()
+        second = service.submit(make_program(), make_options()).result()
+    assert first.csl_sources == second.csl_sources
+    assert service.statistics.inline_compiles == 1
+    assert service.statistics.cache_hits == 1
+    assert service.cache.statistics.memory_hits == 1
+    # Both program and layout modules were printed into the artifact.
+    assert any(name.endswith("_layout.csl") for name in first.csl_sources)
+
+
+def test_artifact_metadata_describes_the_configuration():
+    with CompileService() as service:
+        artifact = service.compile(make_program(), make_options(target="wse3"))
+    assert artifact.program_name == "fp_probe"
+    assert artifact.target == "wse3"
+    assert (artifact.grid_width, artifact.grid_height) == (4, 4)
+    assert artifact.statistics["passes"], "per-pass statistics must be recorded"
+    assert artifact.statistics["total_wall_time"] > 0
+
+
+def test_disk_store_is_shared_across_service_instances():
+    with CompileService() as producer:
+        produced = producer.compile(make_program(), make_options())
+    with CompileService() as consumer:
+        served = consumer.compile(make_program(), make_options())
+    assert served == produced
+    assert consumer.statistics.inline_compiles == 0
+    assert consumer.cache.statistics.disk_hits == 1
+
+
+def test_batch_over_a_process_pool_accounts_every_submission():
+    # Three distinct configurations plus one duplicate: the duplicate either
+    # joins the in-flight compile or hits the cache, never compiles twice.
+    configs = [
+        (make_program(), make_options()),
+        (make_program(0.5), make_options()),
+        (make_program(), make_options(target="wse3")),
+        (make_program(), make_options()),
+    ]
+    with CompileService(max_workers=2) as service:
+        futures = service.submit_batch(configs)
+        artifacts = [future.result() for future in futures]
+    assert len({a.fingerprint for a in artifacts}) == 3
+    assert artifacts[0] == artifacts[3]
+    stats = service.statistics
+    assert stats.submitted == 4
+    assert stats.pool_compiles == 3
+    assert stats.deduplicated + stats.cache_hits == 1
+    # Workers published their artifacts into the shared store.
+    assert len(service.cache.disk) == 3
+
+
+def test_compile_ir_memoises_live_results():
+    with CompileService() as service:
+        first = service.compile_ir(make_program(), make_options())
+        second = service.compile_ir(make_program(), make_options())
+        assert second is first
+        assert service.statistics.ir_compiles == 1
+        assert service.statistics.ir_hits == 1
+        # The printed artifact landed in the cache as a side effect, so a
+        # text client is served without compiling.
+        service.submit(make_program(), make_options()).result()
+        assert service.statistics.inline_compiles == 0
+        assert service.statistics.cache_hits == 1
+
+
+def test_concurrent_submissions_share_one_compile():
+    # Check-and-register is one critical section, so two racing threads for
+    # the same fingerprint must end up with exactly one pipeline run.
+    barrier = threading.Barrier(2)
+    artifacts = []
+
+    with CompileService() as service:
+
+        def submit():
+            barrier.wait()
+            artifacts.append(service.submit(make_program(), make_options()).result())
+
+        threads = [threading.Thread(target=submit) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    assert artifacts[0] == artifacts[1]
+    stats = service.statistics
+    assert stats.inline_compiles == 1
+    assert stats.deduplicated + stats.cache_hits == 1
+
+
+def test_default_service_is_a_process_wide_singleton():
+    assert default_service() is default_service()
+
+
+def test_format_statistics_mentions_the_store():
+    with CompileService() as service:
+        service.compile(make_program(), make_options())
+        text = service.format_statistics()
+    assert "cache" in text and str(service.cache.disk.directory) in text
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+
+
+def test_cli_compile_repeat_shows_warm_cache(capsys):
+    out = io.StringIO()
+    code = main(
+        ["compile", "Jacobian", "UVKBE", "--grid", "3x3", "--repeat", "2"],
+        out=out,
+    )
+    assert code == 0
+    text = out.getvalue()
+    assert "(0 served from cache)" in text
+    assert "(2 served from cache)" in text
+    assert "compilation service statistics" in text
+
+
+def test_cli_stats_and_purge_roundtrip(isolated_cache):
+    compile_out = io.StringIO()
+    assert main(["compile", "Jacobian", "--grid", "3x3"], out=compile_out) == 0
+
+    stats_out = io.StringIO()
+    assert main(["stats"], out=stats_out) == 0
+    assert "artifacts: 1" in stats_out.getvalue()
+    assert str(isolated_cache) in stats_out.getvalue()
+
+    purge_out = io.StringIO()
+    assert main(["purge"], out=purge_out) == 0
+    assert "purged 1 artifacts" in purge_out.getvalue()
+
+    empty_out = io.StringIO()
+    assert main(["stats"], out=empty_out) == 0
+    assert "artifacts: 0" in empty_out.getvalue()
+
+
+def test_cli_rejects_unknown_benchmarks(capsys):
+    assert main(["compile", "NoSuchBenchmark"], out=io.StringIO()) == 2
+
+
+def test_cli_rejects_invalid_option_values(capsys):
+    # Out-of-range values exit 2 with a message, not a traceback.
+    assert main(["compile", "Jacobian", "--num-chunks", "0"], out=io.StringIO()) == 2
+    assert main(["compile", "Jacobian", "--workers", "-1"], out=io.StringIO()) == 2
+    assert "error:" in capsys.readouterr().err
