@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench service service-smoke lint
+.PHONY: test bench sim-bench service service-smoke lint
 
 # Tier-1 verification: the whole suite, fail fast.
 test:
@@ -10,6 +10,11 @@ test:
 # Benchmarks only (compile-time trajectory + paper figures).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Simulator throughput smoke: reference-vs-vectorized executor sweep with the
+# >=3x 8x8 speedup assertion; refreshes benchmarks/BENCH_simulator.json.
+sim-bench:
+	$(PYTHON) -m pytest benchmarks/test_simulator_throughput.py -q
 
 # Compilation service: unit + throughput tests, then the CLI smoke path.
 service:

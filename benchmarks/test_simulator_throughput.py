@@ -1,0 +1,126 @@
+"""Simulation-throughput benchmarks: reference vs vectorized executors.
+
+A grid-size sweep simulates the Jacobian benchmark on both execution
+backends and records the wall-time trajectory to ``BENCH_simulator.json``
+(next to this file, gitignored: timings are host-specific), so future PRs
+have a simulation-speed baseline to compare against — the simulator
+counterpart of the compile-time trajectories from ``test_compile_time.py``.
+
+The pinned claim: the vectorized lockstep executor is at least **3x** faster
+than the per-PE reference interpreter on an 8x8 grid.  (In practice the gap
+is an order of magnitude and widens with the grid, because the reference
+backend re-interprets the program once per PE while the vectorized backend
+interprets it once and batches the math.)
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.numpy_ref import allocate_fields, field_to_columns
+from repro.benchmarks import benchmark_by_name
+from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.wse.simulator import WseSimulator
+
+GRID_SIZES = (1, 2, 4, 8)
+Z_DIM = 32
+TIME_STEPS = 2
+REPEATS = 3
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "BENCH_simulator.json"
+
+
+def _compiled(grid: int):
+    bench = benchmark_by_name("Jacobian")
+    program = bench.program(nx=grid, ny=grid, nz=Z_DIM, time_steps=TIME_STEPS)
+    options = PipelineOptions(grid_width=grid, grid_height=grid, num_chunks=2)
+    result = compile_stencil_program(program, options)
+    rng = np.random.default_rng(29)
+    fields = allocate_fields(program, lambda name, shape: rng.uniform(-1, 1, shape))
+    columns = {
+        decl.name: field_to_columns(program, decl.name, fields[decl.name])
+        for decl in program.fields
+    }
+    return result.program_module, columns
+
+
+def _best_simulation_seconds(program_module, columns, executor: str) -> float:
+    """Best-of-N wall time of one full simulation (fresh backend per run).
+
+    Backend construction and host-side field loading are included — they are
+    part of what a figure-regeneration run pays per simulation — while
+    compilation is excluded (it is served by the compile cache in practice).
+    GC is paused so a collection on one side cannot skew the ratio.
+    """
+    best = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            simulator = WseSimulator(program_module, executor=executor)
+            for name, data in columns.items():
+                simulator.load_field(name, data)
+            simulator.execute()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        gc.enable()
+    return best
+
+
+def test_simulator_throughput_sweep_records_trajectory_and_speedup():
+    """Sweep the PE grid, record the trajectory, pin the 8x8 speedup."""
+    rows = []
+    for grid in GRID_SIZES:
+        program_module, columns = _compiled(grid)
+        reference_seconds = _best_simulation_seconds(
+            program_module, columns, "reference"
+        )
+        vectorized_seconds = _best_simulation_seconds(
+            program_module, columns, "vectorized"
+        )
+        rows.append(
+            {
+                "grid": f"{grid}x{grid}",
+                "reference_ms": round(reference_seconds * 1e3, 4),
+                "vectorized_ms": round(vectorized_seconds * 1e3, 4),
+                "speedup": round(reference_seconds / vectorized_seconds, 2),
+            }
+        )
+
+    TRAJECTORY_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "Jacobian",
+                "z_dim": Z_DIM,
+                "time_steps": TIME_STEPS,
+                "repeats": REPEATS,
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    eight = next(row for row in rows if row["grid"] == "8x8")
+    assert eight["speedup"] >= 3.0, (
+        f"vectorized executor speedup {eight['speedup']:.2f}x on 8x8 is below "
+        f"the 3x requirement ({eight['vectorized_ms']:.2f} ms vs "
+        f"{eight['reference_ms']:.2f} ms); trajectory in {TRAJECTORY_PATH}"
+    )
+
+
+def test_vectorized_results_match_reference_on_the_swept_program():
+    """The throughput comparison is only meaningful if both backends compute
+    the same answer on the swept configuration — pin it byte-for-byte."""
+    program_module, columns = _compiled(8)
+    gathered = {}
+    for executor in ("reference", "vectorized"):
+        simulator = WseSimulator(program_module, executor=executor)
+        for name, data in columns.items():
+            simulator.load_field(name, data)
+        simulator.execute()
+        gathered[executor] = simulator.read_field("v")
+    assert gathered["reference"].tobytes() == gathered["vectorized"].tobytes()

@@ -11,6 +11,11 @@ This walks the whole flow of the paper in ~60 lines:
 4. execute the generated program on the fabric simulator and check it against
    the NumPy reference.
 
+The simulator runs on the ``vectorized`` lockstep backend by default; set
+``REPRO_EXECUTOR=reference`` to run the per-PE interpreter instead (both
+produce bit-identical results — see the "Execution backends" section of the
+README).
+
 Run with:  python examples/quickstart.py
 """
 
@@ -73,7 +78,7 @@ def main() -> None:
     measured = simulator.read_field("v")
     np.testing.assert_allclose(measured, expected, rtol=1e-5, atol=1e-6)
 
-    print("simulation statistics:")
+    print(f"simulation statistics ({simulator.executor_name} executor):")
     print(f"  delivery rounds     : {statistics.rounds}")
     print(f"  tasks executed      : {statistics.tasks_run}")
     print(f"  halo exchanges      : {statistics.exchanges}")

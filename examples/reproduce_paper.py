@@ -5,7 +5,9 @@ paper-vs-measured comparison).  All calibration compiles go through the
 compilation service (``repro.service``), whose content-addressed cache
 compiles each distinct (benchmark, target, chunks) configuration once and
 serves every repeat warm — the statistics block at the end of the report
-shows how many compiles the cache absorbed.
+shows how many compiles the cache absorbed.  Calibration simulations run on
+the vectorized lockstep executor by default; ``REPRO_EXECUTOR=reference``
+switches them to the per-PE interpreter (same numbers, slower).
 
 Run with:  python examples/reproduce_paper.py
 """

@@ -51,7 +51,10 @@ def validate_small_instance() -> None:
         rtol=2e-5,
         atol=1e-5,
     )
-    print("25-point kernel functionally validated against the NumPy reference")
+    print(
+        "25-point kernel functionally validated against the NumPy reference "
+        f"({simulator.executor_name} executor)"
+    )
 
 
 def performance_comparison() -> None:

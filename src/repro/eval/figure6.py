@@ -42,9 +42,9 @@ class Figure6Result:
         raise KeyError(system)
 
 
-def compute_figure6() -> Figure6Result:
+def compute_figure6(executor: str | None = None) -> Figure6Result:
     benchmark = benchmark_by_name("Acoustic")
-    wse3 = estimate_performance(benchmark, WSE3, LARGE)
+    wse3 = estimate_performance(benchmark, WSE3, LARGE, executor=executor)
     gpu = acoustic_on_tursa()
     cpu = acoustic_on_archer2()
     rows = [

@@ -16,11 +16,18 @@ from repro.eval.figure6 import format_figure6
 from repro.eval.figure7 import format_figure7
 from repro.eval.table1 import format_table1
 from repro.service.service import default_service
+from repro.wse.executors import default_executor_name
 
 
 def full_report(include_service_statistics: bool = True) -> str:
-    """The complete evaluation as a text report."""
+    """The complete evaluation as a text report.
+
+    Calibration simulations run on the process-wide default execution
+    backend (``REPRO_EXECUTOR``); the header names it so reports produced by
+    different backends are distinguishable.
+    """
     sections = [
+        f"[simulator backend: {default_executor_name()}]",
         format_figure4(),
         format_figure5(),
         format_figure6(),

@@ -28,14 +28,16 @@ def simulate_against_reference(
     program: StencilProgram,
     options: PipelineOptions,
     seed: int = 7,
+    executor: str | None = None,
 ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
     """Compile and simulate the program, and run the NumPy reference.
 
     Returns ``(simulated, reference)`` — both keyed by field name, both as
-    per-PE column arrays of shape ``(nx, ny, z_total)``.
+    per-PE column arrays of shape ``(nx, ny, z_total)``.  ``executor``
+    selects the simulator backend (defaults to the process-wide choice).
     """
     result = compile_stencil_program(program, options)
-    simulator = WseSimulator(result.program_module)
+    simulator = WseSimulator(result.program_module, executor=executor)
 
     fields = allocate_fields(program, random_initializer(seed))
     reference_fields = {name: array.copy() for name, array in fields.items()}

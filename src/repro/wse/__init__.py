@@ -10,13 +10,30 @@ substitution documented in DESIGN.md:
 * :mod:`repro.wse.interpreter` — executes the generated csl-ir PE program;
 * :mod:`repro.wse.runtime` — the chunked, star-shaped halo-exchange runtime
   (Section 5.6) driving receive/done callbacks;
-* :mod:`repro.wse.simulator` — the fabric simulator: a 2-D grid of PEs run to
-  completion in delivery rounds;
+* :mod:`repro.wse.executors` — pluggable execution backends: the per-PE
+  ``reference`` interpreter and the whole-grid ``vectorized`` lockstep
+  executor (selected via ``WseSimulator(executor=...)`` or the
+  ``REPRO_EXECUTOR`` environment variable);
+* :mod:`repro.wse.simulator` — the fabric simulator facade: a 2-D grid of
+  PEs run to completion in delivery rounds by the chosen backend;
 * :mod:`repro.wse.perf_model` — the analytic per-PE cycle model used to
   extrapolate throughput to the paper's problem sizes.
 """
 
+from repro.wse.executors import (
+    SimulationStatistics,
+    available_executors,
+    default_executor_name,
+)
 from repro.wse.machine import WSE2, WSE3, WseMachineSpec
 from repro.wse.simulator import WseSimulator
 
-__all__ = ["WSE2", "WSE3", "WseMachineSpec", "WseSimulator"]
+__all__ = [
+    "WSE2",
+    "WSE3",
+    "SimulationStatistics",
+    "WseMachineSpec",
+    "WseSimulator",
+    "available_executors",
+    "default_executor_name",
+]

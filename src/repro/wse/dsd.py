@@ -35,3 +35,20 @@ class Dsd:
                 f"length={self.length} stride={self.stride} buffer={array.shape[0]}"
             )
         return view
+
+    def resolve_columns(self, buffers: dict[str, np.ndarray]) -> np.ndarray:
+        """A writable view over whole-grid ``(height, width, z)`` buffers.
+
+        The iterator runs along the z axis of every PE's column at once — the
+        vectorized executor's batched equivalent of :meth:`resolve`.
+        """
+        array = buffers[self.buffer]
+        stop = self.offset + self.length * self.stride
+        view = array[:, :, self.offset : stop : self.stride]
+        if view.shape[-1] != self.length:
+            raise IndexError(
+                f"DSD over '{self.buffer}' out of range: offset={self.offset} "
+                f"length={self.length} stride={self.stride} "
+                f"buffer={array.shape[-1]}"
+            )
+        return view

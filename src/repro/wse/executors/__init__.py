@@ -1,0 +1,44 @@
+"""Pluggable execution backends for the WSE fabric simulator.
+
+Two backends ship in-tree:
+
+* ``reference`` — the original per-PE Python interpreter
+  (:mod:`repro.wse.executors.reference`): one interpreter loop per PE,
+  maximally literal, O(width × height) slow.  The backend of record.
+* ``vectorized`` — the lockstep executor
+  (:mod:`repro.wse.executors.vectorized`): interprets the SPMD program image
+  once and executes every csl-ir op as whole-grid NumPy array math.
+  Bit-identical to the reference and several times faster at 8×8+ grids.
+
+Selection, in priority order: the ``executor=`` argument of
+:class:`repro.wse.simulator.WseSimulator`, the ``REPRO_EXECUTOR``
+environment variable, then the built-in default (``vectorized``).
+"""
+
+from repro.wse.executors.base import (
+    DEFAULT_EXECUTOR,
+    EXECUTOR_ENV_VAR,
+    Executor,
+    SimulationStatistics,
+    available_executors,
+    default_executor_name,
+    executor_by_name,
+    register_executor,
+)
+
+# Importing the backend modules registers them.
+from repro.wse.executors.reference import ReferenceExecutor
+from repro.wse.executors.vectorized import VectorizedExecutor
+
+__all__ = [
+    "DEFAULT_EXECUTOR",
+    "EXECUTOR_ENV_VAR",
+    "Executor",
+    "ReferenceExecutor",
+    "SimulationStatistics",
+    "VectorizedExecutor",
+    "available_executors",
+    "default_executor_name",
+    "executor_by_name",
+    "register_executor",
+]

@@ -121,8 +121,12 @@ class PeInterpreter:
         """Resolve a value to either a scalar or a NumPy view."""
         resolved = self._value(value, env)
         if isinstance(resolved, Dsd):
-            return resolved.resolve(self.pe.buffers)
+            return self._resolve_dsd(resolved)
         return resolved
+
+    def _resolve_dsd(self, dsd: Dsd) -> np.ndarray:
+        """A writable view of the described elements (executor-specific)."""
+        return dsd.resolve(self.pe.buffers)
 
     # ------------------------------------------------------------------ #
 
@@ -220,12 +224,14 @@ def _dsd_builtin(compute):
         dest_value = interp._value(op.dest, env)
         if not isinstance(dest_value, Dsd):
             raise InterpretationError(f"'{op.name}' destination is not a DSD")
-        dest = dest_value.resolve(interp.pe.buffers)
+        dest = interp._resolve_dsd(dest_value)
         sources = [interp._resolve(source, env) for source in op.sources]
         dest[:] = compute(dest, *sources)
         interp.pe.counters["dsd_ops"] += 1
+        # The last axis is the DSD extent on every executor (the vectorized
+        # backend prepends the grid axes); count per-PE elements, not grid ones.
         interp.pe.counters["dsd_elements"] = (
-            interp.pe.counters.get("dsd_elements", 0) + int(dest.shape[0])
+            interp.pe.counters.get("dsd_elements", 0) + int(dest.shape[-1])
         )
 
     return handler

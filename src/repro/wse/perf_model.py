@@ -83,9 +83,16 @@ def measure_pe_activity(
     benchmark: Benchmark,
     machine: WseMachineSpec,
     num_chunks: int = 2,
+    executor: str | None = None,
 ) -> PeActivity:
     """Compile and functionally execute the benchmark on a small grid, then
-    report the per-time-step activity of the centre (interior) PE."""
+    report the per-time-step activity of the centre (interior) PE.
+
+    ``executor`` selects the simulator backend for the calibration run; the
+    counters are semantically identical across backends, so the estimate is
+    too — the knob only trades calibration wall time (see
+    :mod:`repro.wse.executors`).
+    """
     radius = _benchmark_radius(benchmark)
     grid = max(_CALIBRATION_GRID, 2 * radius + 1)
     program = benchmark.program(
@@ -101,7 +108,7 @@ def measure_pe_activity(
     # calibrate against the same (benchmark, target, chunks) configuration
     # compile it exactly once per process.
     result = default_service().compile_ir(program, options)
-    simulator = WseSimulator(result.program_module)
+    simulator = WseSimulator(result.program_module, executor=executor)
     simulator.execute()
 
     centre = simulator.pe(grid // 2, grid // 2)
@@ -153,10 +160,13 @@ def estimate_performance(
     iterations: int | None = None,
     num_chunks: int = 2,
     activity: PeActivity | None = None,
+    executor: str | None = None,
 ) -> PerformanceEstimate:
     """Whole-wafer throughput estimate for one benchmark configuration."""
     if activity is None:
-        activity = measure_pe_activity(benchmark, machine, num_chunks=num_chunks)
+        activity = measure_pe_activity(
+            benchmark, machine, num_chunks=num_chunks, executor=executor
+        )
     iterations = iterations if iterations is not None else benchmark.iterations
 
     cycles = cycles_per_step(activity, machine)

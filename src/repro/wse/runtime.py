@@ -10,6 +10,12 @@ the completion callback (phase 2).  PEs outside the grid contribute zeros
 The two-phase structure guarantees every PE reads its neighbours' values as
 they were when the exchange was scheduled, which is exactly the semantics of
 the hardware exchange (all sends precede the local update of the field).
+
+This per-PE delivery serves the ``reference`` execution backend; the
+``vectorized`` backend implements the same two-phase protocol as whole-grid
+shifted-slice copies (see
+:meth:`repro.wse.executors.vectorized.VectorizedExecutor._deliver_round`)
+and is validated bit-for-bit against this implementation.
 """
 
 from __future__ import annotations

@@ -1,4 +1,5 @@
-"""The fabric simulator: a 2-D grid of PEs executing the generated program.
+"""The fabric simulator facade: a 2-D grid of PEs executing the generated
+program through a pluggable execution backend.
 
 Execution proceeds in *delivery rounds*: every PE drains its task queue until
 it either halts (control returned to the host) or blocks waiting on a
@@ -6,103 +7,116 @@ scheduled exchange; the runtime then delivers all pending exchanges at once
 and the next round begins.  This models the lockstep progress of an SPMD
 stencil program on the fabric while remaining deterministic and fast enough
 to validate generated programs bit-for-bit against the NumPy reference.
+
+*How* the rounds are executed is the backend's business
+(:mod:`repro.wse.executors`): the ``reference`` backend interprets the
+program once per PE, the ``vectorized`` backend interprets it once for the
+whole fabric over batched ``(height, width, z)`` buffers.  Both expose the
+same ``load_field`` / ``execute`` / ``read_field`` / ``statistics`` surface
+through this facade and produce bit-identical fields and statistics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.dialects import csl
-from repro.ir.exceptions import InterpretationError
-from repro.wse.interpreter import PeInterpreter, ProgramImage
-from repro.wse.pe import ProcessingElement
-from repro.wse.runtime import CommsRuntime
+from repro.ir.attributes import IntAttr
+from repro.wse.executors import (
+    SimulationStatistics,
+    default_executor_name,
+    executor_by_name,
+)
+from repro.wse.interpreter import ProgramImage
 
-
-@dataclass
-class SimulationStatistics:
-    """Aggregate activity counters of one simulation run."""
-
-    rounds: int = 0
-    tasks_run: int = 0
-    exchanges: int = 0
-    dsd_ops: int = 0
-    dsd_elements: int = 0
-    wavelets_sent: int = 0
-    max_pe_memory_bytes: int = 0
+__all__ = ["SimulationStatistics", "WseSimulator"]
 
 
 class WseSimulator:
-    """Functional simulator of the WSE fabric for a compiled program."""
+    """Functional simulator of the WSE fabric for a compiled program.
+
+    ``executor`` selects the execution backend by registry name; when omitted
+    the ``REPRO_EXECUTOR`` environment variable and then the built-in default
+    decide.  ``width``/``height`` default to the grid the program was
+    compiled for; explicit overrides must match any grid extent recorded in
+    the program image, because the generated layout (border masks, exchange
+    patterns) is specialised to it.
+    """
 
     def __init__(
         self,
         program_module: "csl.CslModuleOp",
         width: int | None = None,
         height: int | None = None,
+        executor: str | None = None,
     ):
         self.image = ProgramImage(program_module)
-        self.width = width if width is not None else self.image.width
-        self.height = height if height is not None else self.image.height
-        self.grid: list[list[ProcessingElement]] = [
-            [ProcessingElement(x, y) for x in range(self.width)]
-            for y in range(self.height)
-        ]
-        self.interpreters: dict[tuple[int, int], PeInterpreter] = {}
-        for row in self.grid:
-            for pe in row:
-                interpreter = PeInterpreter(self.image, pe)
-                interpreter.initialise()
-                self.interpreters[(pe.x, pe.y)] = interpreter
-        self.runtime = CommsRuntime(self.grid)
-        self.statistics = SimulationStatistics()
+        self.width = self._validated_extent("width", width, program_module)
+        self.height = self._validated_extent("height", height, program_module)
+        self.executor_name = (
+            executor if executor is not None else default_executor_name()
+        )
+        executor_cls = executor_by_name(self.executor_name)
+        self._executor = executor_cls(self.image, self.width, self.height)
+
+    def _validated_extent(
+        self,
+        axis: str,
+        override: int | None,
+        program_module: "csl.CslModuleOp",
+    ) -> int:
+        """The grid extent along ``axis``, validating explicit overrides.
+
+        A program compiled for one grid mis-executes silently on another (the
+        layout metaprogram bakes the extent into border masks and exchange
+        patterns), so a mismatching override is a hard error.
+        """
+        declared_attr = program_module.attributes.get(axis)
+        declared = (
+            declared_attr.value if isinstance(declared_attr, IntAttr) else None
+        )
+        if override is None:
+            return declared if declared is not None else 1
+        if override < 1:
+            raise ValueError(f"WseSimulator {axis} must be positive, got {override}")
+        if declared is not None and override != declared:
+            raise ValueError(
+                f"WseSimulator {axis}={override} does not match the program "
+                f"image's grid {axis} {declared}: the program was compiled for "
+                f"a {self.image.width}x{self.image.height} fabric. Recompile "
+                f"with PipelineOptions(grid_{axis}={override}, ...) or drop "
+                f"the override."
+            )
+        return override
 
     # ------------------------------------------------------------------ #
     # Host-side data movement (the memcpy library's role)
     # ------------------------------------------------------------------ #
 
-    def pe(self, x: int, y: int) -> ProcessingElement:
-        return self.grid[y][x]
+    @property
+    def executor(self):
+        """The active execution backend instance."""
+        return self._executor
 
-    def _field_buffer(self, pe: ProcessingElement, name: str) -> np.ndarray:
-        """A PE's buffer for ``name``, or a diagnosable error if absent."""
-        try:
-            return pe.buffers[name]
-        except KeyError:
-            available = ", ".join(sorted(pe.buffers)) or "<none>"
-            raise KeyError(
-                f"unknown field '{name}' on PE ({pe.x}, {pe.y}); "
-                f"available buffers: {available}"
-            ) from None
+    @property
+    def grid(self):
+        """The fabric as rows of per-PE state views."""
+        return self._executor.grid
+
+    @property
+    def statistics(self) -> SimulationStatistics:
+        return self._executor.statistics
+
+    def pe(self, x: int, y: int):
+        return self._executor.pe(x, y)
 
     def load_field(self, name: str, columns: np.ndarray) -> None:
         """Scatter a ``(width, height, z)`` array of columns onto the PEs."""
-        if columns.shape[:2] != (self.width, self.height):
-            raise ValueError(
-                f"expected columns of shape ({self.width}, {self.height}, z), "
-                f"got {columns.shape}"
-            )
-        for y in range(self.height):
-            for x in range(self.width):
-                buffer = self._field_buffer(self.pe(x, y), name)
-                column = columns[x, y]
-                if column.shape[0] != buffer.shape[0]:
-                    raise ValueError(
-                        f"column length {column.shape[0]} does not match buffer "
-                        f"'{name}' of length {buffer.shape[0]}"
-                    )
-                buffer[:] = column.astype(np.float32)
+        self._executor.load_field(name, columns)
 
     def read_field(self, name: str) -> np.ndarray:
         """Gather a field back into a ``(width, height, z)`` array."""
-        z_length = self._field_buffer(self.pe(0, 0), name).shape[0]
-        result = np.zeros((self.width, self.height, z_length), dtype=np.float32)
-        for y in range(self.height):
-            for x in range(self.width):
-                result[x, y, :] = self._field_buffer(self.pe(x, y), name)
-        return result
+        return self._executor.read_field(name)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -110,45 +124,12 @@ class WseSimulator:
 
     def launch(self, entry: str | None = None) -> None:
         """Invoke the host-callable entry point on every PE."""
-        entry_name = entry if entry is not None else self.image.entry
-        for interpreter in self.interpreters.values():
-            interpreter.run_callable(entry_name)
+        self._executor.launch(entry)
 
     def run(self, max_rounds: int = 1_000_000) -> SimulationStatistics:
         """Run delivery rounds until every PE has halted."""
-        for round_index in range(max_rounds):
-            for interpreter in self.interpreters.values():
-                interpreter.run_pending_tasks()
-            if all(pe.halted or pe.is_idle for row in self.grid for pe in row):
-                break
-            delivered = self.runtime.deliver_round(self.interpreters)
-            self.statistics.rounds += 1
-            if delivered == 0:
-                raise InterpretationError(
-                    "deadlock: PEs are neither halted nor waiting on an exchange"
-                )
-        else:
-            raise InterpretationError(f"simulation exceeded {max_rounds} rounds")
-
-        self._collect_statistics()
-        return self.statistics
+        return self._executor.run(max_rounds)
 
     def execute(self, entry: str | None = None) -> SimulationStatistics:
         """Convenience: launch then run to completion."""
-        self.launch(entry)
-        return self.run()
-
-    # ------------------------------------------------------------------ #
-
-    def _collect_statistics(self) -> None:
-        stats = self.statistics
-        for row in self.grid:
-            for pe in row:
-                stats.tasks_run += pe.counters["tasks_run"]
-                stats.exchanges += pe.counters["exchanges"]
-                stats.dsd_ops += pe.counters["dsd_ops"]
-                stats.dsd_elements += pe.counters["dsd_elements"]
-                stats.wavelets_sent += pe.counters["wavelets_sent"]
-                stats.max_pe_memory_bytes = max(
-                    stats.max_pe_memory_bytes, pe.memory_in_use()
-                )
+        return self._executor.execute(entry)

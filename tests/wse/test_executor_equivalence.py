@@ -1,0 +1,154 @@
+"""Golden equivalence between execution backends, and backend selection.
+
+The vectorized lockstep executor must be indistinguishable from the per-PE
+reference interpreter: byte-identical ``read_field`` results and equal
+:class:`SimulationStatistics` on the three benchmark programs the golden
+pipeline-equivalence suite already pins down (Jacobian / Seismic / UVKBE).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.numpy_ref import allocate_fields, field_to_columns
+from repro.benchmarks import benchmark_by_name
+from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.wse.executors import (
+    EXECUTOR_ENV_VAR,
+    available_executors,
+    default_executor_name,
+    executor_by_name,
+)
+from repro.wse.executors.reference import ReferenceExecutor
+from repro.wse.executors.vectorized import VectorizedExecutor
+from repro.wse.simulator import WseSimulator
+
+GOLDEN_BENCHMARKS = ("Jacobian", "Seismic", "UVKBE")
+
+
+def _run_on(executor: str, program, program_module, seed: int = 13):
+    """Load identical random data, execute, and gather fields + statistics."""
+    rng = np.random.default_rng(seed)
+    fields = allocate_fields(program, lambda name, shape: rng.uniform(-1, 1, shape))
+    simulator = WseSimulator(program_module, executor=executor)
+    for decl in program.fields:
+        simulator.load_field(
+            decl.name, field_to_columns(program, decl.name, fields[decl.name])
+        )
+    statistics = simulator.execute()
+    gathered = {decl.name: simulator.read_field(decl.name) for decl in program.fields}
+    return gathered, statistics
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("name", GOLDEN_BENCHMARKS)
+    def test_fields_byte_identical_and_statistics_equal(self, name):
+        benchmark = benchmark_by_name(name)
+        grid = 9 if benchmark.stencil_points >= 25 else 6
+        program = benchmark.program(nx=grid, ny=grid, nz=16, time_steps=2)
+        result = compile_stencil_program(
+            program, PipelineOptions(grid_width=grid, grid_height=grid, num_chunks=2)
+        )
+
+        reference_fields, reference_stats = _run_on(
+            "reference", program, result.program_module
+        )
+        vectorized_fields, vectorized_stats = _run_on(
+            "vectorized", program, result.program_module
+        )
+
+        for field_name, expected in reference_fields.items():
+            actual = vectorized_fields[field_name]
+            assert actual.dtype == expected.dtype
+            assert actual.shape == expected.shape
+            assert actual.tobytes() == expected.tobytes(), (
+                f"field '{field_name}' differs between executors on {name}"
+            )
+        assert vectorized_stats == reference_stats
+
+    def test_per_pe_counters_match_across_executors(self):
+        """Any PE's counters — not just the aggregate — agree, so the
+        performance model calibrates identically on either backend."""
+        benchmark = benchmark_by_name("Jacobian")
+        program = benchmark.program(nx=5, ny=5, nz=16, time_steps=2)
+        result = compile_stencil_program(
+            program, PipelineOptions(grid_width=5, grid_height=5, num_chunks=2)
+        )
+        reference = WseSimulator(result.program_module, executor="reference")
+        vectorized = WseSimulator(result.program_module, executor="vectorized")
+        reference.execute()
+        vectorized.execute()
+        centre_ref = reference.pe(2, 2)
+        centre_vec = vectorized.pe(2, 2)
+        assert dict(centre_vec.counters) == dict(centre_ref.counters)
+        assert centre_vec.memory_in_use() == centre_ref.memory_in_use()
+
+
+class TestExecutorSelection:
+    def test_registry_lists_both_backends(self):
+        assert "reference" in available_executors()
+        assert "vectorized" in available_executors()
+        assert executor_by_name("reference") is ReferenceExecutor
+        assert executor_by_name("vectorized") is VectorizedExecutor
+
+    def test_unknown_executor_names_the_alternatives(self):
+        with pytest.raises(KeyError, match="unknown executor 'warp'") as excinfo:
+            executor_by_name("warp")
+        assert "reference" in str(excinfo.value)
+        assert "vectorized" in str(excinfo.value)
+
+    def test_env_var_selects_the_default(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "reference")
+        assert default_executor_name() == "reference"
+        program_module = _tiny_program_module()
+        simulator = WseSimulator(program_module)
+        assert simulator.executor_name == "reference"
+        assert isinstance(simulator.executor, ReferenceExecutor)
+
+    def test_argument_overrides_env_var(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "reference")
+        simulator = WseSimulator(_tiny_program_module(), executor="vectorized")
+        assert isinstance(simulator.executor, VectorizedExecutor)
+
+    def test_unknown_executor_on_simulator_raises(self):
+        with pytest.raises(KeyError, match="unknown executor"):
+            WseSimulator(_tiny_program_module(), executor="nope")
+
+
+class TestGridOverrideValidation:
+    def test_matching_override_is_accepted(self):
+        module = _tiny_program_module()
+        simulator = WseSimulator(module, width=3, height=3)
+        assert (simulator.width, simulator.height) == (3, 3)
+
+    @pytest.mark.parametrize("axis", ["width", "height"])
+    def test_mismatching_override_is_rejected(self, axis):
+        module = _tiny_program_module()
+        overrides = {axis: 7}
+        with pytest.raises(ValueError, match=f"{axis}=7 does not match"):
+            WseSimulator(module, **overrides)
+
+    def test_non_positive_override_is_rejected(self):
+        with pytest.raises(ValueError, match="width must be positive"):
+            WseSimulator(_tiny_program_module(), width=0)
+
+
+def _tiny_program_module():
+    from repro.frontends.common import (
+        Constant,
+        FieldAccess,
+        FieldDecl,
+        StencilEquation,
+        StencilProgram,
+    )
+
+    u = lambda dx, dy, dz: FieldAccess("u", (dx, dy, dz))
+    program = StencilProgram(
+        name="tiny",
+        fields=[FieldDecl("u", (3, 3, 4)), FieldDecl("v", (3, 3, 4))],
+        equations=[StencilEquation("v", (u(0, 0, 0) + u(1, 0, 0)) * Constant(0.5))],
+        time_steps=1,
+    )
+    result = compile_stencil_program(
+        program, PipelineOptions(grid_width=3, grid_height=3, num_chunks=1)
+    )
+    return result.program_module
