@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench sim-bench service service-smoke lint
+.PHONY: test bench sim-bench service service-smoke boundary-check lint
 
 # Tier-1 verification: the whole suite, fail fast.
 test:
@@ -29,6 +29,13 @@ service-smoke:
 	  $(PYTHON) -m repro.service compile Jacobian UVKBE --grid 4x4 --repeat 2 && \
 	  $(PYTHON) -m repro.service stats && \
 	  $(PYTHON) -m repro.service purge'
+
+# Boundary-condition equivalence: the golden per-mode tests (byte-identical
+# reference/vectorized fields, NumPy-oracle agreement, analytic periodic
+# advection).  The test file parametrises both execution backends
+# explicitly, so a single run covers them regardless of REPRO_EXECUTOR.
+boundary-check:
+	$(PYTHON) -m pytest tests/wse/test_boundary_conditions.py -q
 
 # No third-party linter is vendored; byte-compiling everything still catches
 # syntax errors and obvious breakage in one second.

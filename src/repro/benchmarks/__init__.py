@@ -1,4 +1,5 @@
-"""The five benchmarks of the paper's evaluation (Section 6).
+"""The five benchmarks of the paper's evaluation (Section 6), plus the two
+boundary-condition workloads.
 
 =================  ==========  ======================  =========  ==========
 Benchmark          Front-end   Stencil                 Z extent   Iterations
@@ -8,29 +9,39 @@ Diffusion          Devito      3-D 13-point (r=2)      704        512
 Acoustic           Devito      3-D 13-point, 2nd time  604        512
 25-point Seismic   Cerebras    3-D 25-point (r=4)      450        100,000
 UVKBE              PSyclone    4 fields, 2 applies     600        1
+Advection          Flang       upwind, periodic        900        100,000
+ReflectiveHeat     Devito      3-D 13-point, reflect   704        512
 =================  ==========  ======================  =========  ==========
 """
 
 from repro.benchmarks.definitions import (
+    ALL_BENCHMARKS,
     BENCHMARKS,
+    BOUNDARY_BENCHMARKS,
     Benchmark,
     ProblemSize,
     acoustic_benchmark,
+    advection_benchmark,
     benchmark_by_name,
     diffusion_benchmark,
     jacobian_benchmark,
+    reflective_heat_benchmark,
     seismic_benchmark,
     uvkbe_benchmark,
 )
 
 __all__ = [
+    "ALL_BENCHMARKS",
     "BENCHMARKS",
+    "BOUNDARY_BENCHMARKS",
     "Benchmark",
     "ProblemSize",
     "acoustic_benchmark",
+    "advection_benchmark",
     "benchmark_by_name",
     "diffusion_benchmark",
     "jacobian_benchmark",
+    "reflective_heat_benchmark",
     "seismic_benchmark",
     "uvkbe_benchmark",
 ]

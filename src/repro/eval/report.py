@@ -10,13 +10,38 @@ thereafter.  The closing section of the report shows the cache counters.
 
 from __future__ import annotations
 
+from repro.benchmarks.definitions import ALL_BENCHMARKS
 from repro.eval.figure4 import format_figure4
 from repro.eval.figure5 import format_figure5
 from repro.eval.figure6 import format_figure6
 from repro.eval.figure7 import format_figure7
 from repro.eval.table1 import format_table1
+from repro.frontends.common import BoundaryCondition
 from repro.service.service import default_service
-from repro.wse.executors import default_executor_name
+from repro.wse.executors import available_executors, default_executor_name
+
+
+def format_boundary_modes() -> str:
+    """The boundary-condition surface: supported modes and what each
+    registered workload declares.
+
+    Every mode is implemented by every execution backend (the golden
+    equivalence tests pin the backends bit-identical per mode), so the
+    support column is uniform by construction.
+    """
+    backends = ", ".join(available_executors())
+    lines = [
+        "Boundary conditions",
+        f"  supported modes: {', '.join(BoundaryCondition.KINDS)} "
+        f"(on backends: {backends})",
+        f"  {'workload':<16} {'front-end':>10} {'boundary':>10}",
+    ]
+    for benchmark in ALL_BENCHMARKS:
+        lines.append(
+            f"  {benchmark.name:<16} {benchmark.frontend:>10} "
+            f"{benchmark.boundary:>10}"
+        )
+    return "\n".join(lines)
 
 
 def full_report(include_service_statistics: bool = True) -> str:
@@ -33,6 +58,7 @@ def full_report(include_service_statistics: bool = True) -> str:
         format_figure6(),
         format_figure7(),
         format_table1(),
+        format_boundary_modes(),
     ]
     if include_service_statistics:
         sections.append(default_service().format_statistics())

@@ -2,9 +2,11 @@
 
 Every front-end lowers its input onto a :class:`StencilProgram`: a set of
 3-D fields, a list of stencil equations (expression trees over neighbouring
-accesses and constants) and a time-step count.  :func:`build_stencil_module`
-then emits the corresponding stencil-dialect IR — the common entry point of
-the compilation pipeline (Listing 2 of the paper).
+accesses and constants), a time-step count and a :class:`BoundaryCondition`
+deciding what halo reads see beyond the domain edge.
+:func:`build_stencil_module` then emits the corresponding stencil-dialect
+IR — the common entry point of the compilation pipeline (Listing 2 of the
+paper).
 """
 
 from __future__ import annotations
@@ -81,10 +83,21 @@ class Constant(Expression):
 
 @dataclass
 class FieldAccess(Expression):
-    """Read a field at a constant offset from the current cell."""
+    """Read a field at a constant offset from the current cell.
+
+    ``function`` optionally records the front-end object that created the
+    access (e.g. a Devito-like ``TimeFunction``), so lowering can validate
+    grid metadata (boundary agreement, declared orders) across *all*
+    accessed functions, not just written ones.  It never participates in
+    equality or the canonical form — two structurally identical accesses
+    are the same access wherever they came from.
+    """
 
     field: str
     offset: tuple[int, int, int]
+    # `field: str` above is only an annotation, so `field` here still
+    # resolves to dataclasses.field.
+    function: object | None = field(default=None, compare=False, repr=False)
 
     def accesses(self) -> list["FieldAccess"]:
         return [self]
@@ -117,6 +130,118 @@ class Mul(Expression):
 
     def canonical(self) -> list:
         return ["mul", [factor.canonical() for factor in self.factors]]
+
+
+# --------------------------------------------------------------------------- #
+# Boundary conditions
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BoundaryCondition:
+    """What a halo read sees beyond the edge of the problem domain.
+
+    Three modes, matching the stencil DSLs the paper fronts:
+
+    * ``dirichlet(value)`` — out-of-domain cells hold a fixed ``value``
+      (``dirichlet(0.0)`` is the historical default of this reproduction);
+    * ``periodic`` — the domain wraps: index ``-1`` reads interior ``n - 1``;
+    * ``reflect`` — the domain mirrors at the edge with the edge cell
+      repeated (NumPy's ``symmetric`` padding, the zero-flux ghost cell of a
+      reflective/Neumann boundary): index ``-1`` reads interior ``0``.
+
+    Boundary modes apply to the fabric-decomposed (x, y) dimensions, where
+    the halo is refreshed by the chunked exchange each time step.  The z
+    halo lives inside each PE's column: it is *initialised* according to the
+    mode when fields are allocated and then stays static (there is no z
+    exchange on the fabric).
+    """
+
+    kind: str
+    value: float = 0.0
+
+    #: the supported modes, in canonical order.
+    KINDS = ("dirichlet", "periodic", "reflect")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"unknown boundary kind {self.kind!r}: expected one of "
+                f"{', '.join(self.KINDS)}"
+            )
+        if self.kind != "dirichlet" and self.value != 0.0:
+            raise ValueError(
+                f"boundary mode '{self.kind}' takes no value "
+                f"(got {self.value!r})"
+            )
+
+    # -- constructors ---------------------------------------------------- #
+
+    @classmethod
+    def dirichlet(cls, value: float = 0.0) -> "BoundaryCondition":
+        return cls("dirichlet", float(value))
+
+    @classmethod
+    def periodic(cls) -> "BoundaryCondition":
+        return cls("periodic")
+
+    @classmethod
+    def reflect(cls) -> "BoundaryCondition":
+        return cls("reflect")
+
+    @classmethod
+    def parse(cls, spec: "BoundaryCondition | str") -> "BoundaryCondition":
+        """Build from a compact spec: ``periodic``, ``reflect``,
+        ``dirichlet`` or ``dirichlet:VALUE``."""
+        if isinstance(spec, BoundaryCondition):
+            return spec
+        kind, _, value_text = str(spec).strip().partition(":")
+        kind = kind.strip().lower()
+        if kind not in cls.KINDS:
+            raise ValueError(
+                f"unknown boundary kind {kind!r}: expected one of "
+                f"{', '.join(cls.KINDS)}"
+            )
+        if kind == "dirichlet":
+            return cls.dirichlet(float(value_text) if value_text.strip() else 0.0)
+        if value_text.strip():
+            raise ValueError(f"boundary mode '{kind}' takes no value")
+        return cls(kind)
+
+    # -- canonical / display --------------------------------------------- #
+
+    @property
+    def spec(self) -> str:
+        """The compact one-token form accepted by :meth:`parse`."""
+        if self.kind == "dirichlet":
+            return f"dirichlet:{self.value!r}"
+        return self.kind
+
+    def canonical(self) -> list:
+        """Process-stable, JSON-serialisable form (for the fingerprint)."""
+        return ["boundary", self.kind, self.value]
+
+    # -- halo index semantics -------------------------------------------- #
+
+    def fold(self, index: int, extent: int) -> int | None:
+        """Map a (possibly out-of-domain) grid index into ``[0, extent)``.
+
+        Returns the in-domain index the halo read resolves to, or ``None``
+        for a Dirichlet boundary (the read sees the constant fill instead).
+        Both execution backends share this one definition; the NumPy oracle
+        deliberately does *not* — it implements the same semantics
+        independently through ``np.pad`` modes, which is what makes its
+        agreement with the backends evidence rather than tautology.
+        """
+        if 0 <= index < extent:
+            return index
+        if self.kind == "periodic":
+            return index % extent
+        if self.kind == "reflect":
+            period = 2 * extent
+            folded = index % period
+            return folded if folded < extent else period - 1 - folded
+        return None
 
 
 # --------------------------------------------------------------------------- #
@@ -164,6 +289,10 @@ class StencilProgram:
     fields: list[FieldDecl]
     equations: list[StencilEquation]
     time_steps: int = 1
+    #: halo semantics at the edge of the problem domain.
+    boundary: BoundaryCondition = field(
+        default_factory=BoundaryCondition.dirichlet
+    )
 
     def field(self, name: str) -> FieldDecl:
         for decl in self.fields:
@@ -187,6 +316,7 @@ class StencilProgram:
             "fields": [decl.canonical() for decl in self.fields],
             "equations": [equation.canonical() for equation in self.equations],
             "time_steps": self.time_steps,
+            "boundary": self.boundary.canonical(),
         }
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.frontends.common import (
     Add,
+    BoundaryCondition,
     Constant,
     Expression,
     FieldAccess,
@@ -25,17 +26,24 @@ from repro.frontends.common import (
 
 @dataclass
 class Grid:
-    """A 3-D cartesian grid with uniform halo."""
+    """A 3-D cartesian grid with uniform halo and a boundary condition."""
 
     shape: tuple[int, int, int]
     halo: tuple[int, int, int] = (1, 1, 1)
+    boundary: BoundaryCondition = field(
+        default_factory=BoundaryCondition.dirichlet
+    )
 
 
 class TimeFunction:
     """A field defined on a grid, supporting shifted accesses.
 
     ``u[dx, dy, dz]`` builds an access at a constant offset; arithmetic on
-    those accesses builds the update expression.
+    those accesses builds the update expression.  Each access remembers the
+    function that made it (``access.function``), so ``Operator`` can widen
+    halos from the offsets a program *actually* uses and check that every
+    accessed grid — not just the written ones — agrees on the boundary
+    condition.
     """
 
     def __init__(self, name: str, grid: Grid, space_order: int = 1):
@@ -46,7 +54,9 @@ class TimeFunction:
     def __getitem__(self, offset: tuple[int, int, int]) -> FieldAccess:
         if len(offset) != 3:
             raise ValueError("TimeFunction accesses take a 3-component offset")
-        return FieldAccess(self.name, tuple(int(c) for c in offset))
+        return FieldAccess(
+            self.name, tuple(int(c) for c in offset), function=self
+        )
 
     @property
     def center(self) -> FieldAccess:
@@ -87,6 +97,8 @@ class TimeFunction:
 
     @property
     def halo(self) -> tuple[int, int, int]:
+        """The halo the declared order asks for.  ``Operator`` widens this
+        further when an equation accesses the field at a larger offset."""
         order = max(1, self.space_order)
         return (order, order, order)
 
@@ -109,18 +121,74 @@ class Operator:
         self.time_steps = time_steps
 
     def to_stencil_program(self) -> StencilProgram:
+        # The halo is uniform across fields, and the simulator's column
+        # layout requires it — so the program-wide halo is the elementwise
+        # max of every grid's declared halo, every target's declared order
+        # and every offset actually accessed.  Accesses wider than the
+        # declared space order (e.g. laplace_high_order(radius) with
+        # radius > space_order) widen it instead of silently
+        # under-allocating and reading stale padding.
+        halo = [1, 1, 1]
+        for equation in self.equations:
+            for axis in range(3):
+                halo[axis] = max(
+                    halo[axis],
+                    equation.target.halo[axis],
+                    equation.target.grid.halo[axis],
+                )
+            for access in equation.expression.accesses():
+                function = access.function
+                if function is not None:
+                    for axis in range(3):
+                        halo[axis] = max(
+                            halo[axis],
+                            function.halo[axis],
+                            function.grid.halo[axis],
+                        )
+                for axis, component in enumerate(access.offset):
+                    halo[axis] = max(halo[axis], abs(component))
+        halo = tuple(halo)
+
+        # Every grid the program touches — written or only read — must agree
+        # on the boundary condition and the shape; a read-only function on a
+        # conflicting grid would otherwise be silently compiled under the
+        # wrong boundary, or truncated to the target's domain.
+        boundary: BoundaryCondition | None = None
+        shape: tuple[int, int, int] | None = None
+        for equation in self.equations:
+            functions = [equation.target] + [
+                access.function
+                for access in equation.expression.accesses()
+                if access.function is not None
+            ]
+            for function in functions:
+                if boundary is None:
+                    boundary = function.grid.boundary
+                elif function.grid.boundary != boundary:
+                    raise ValueError(
+                        "all grids of one Operator must declare the same "
+                        f"boundary condition, got {boundary.spec!r} and "
+                        f"{function.grid.boundary.spec!r} (on "
+                        f"'{function.name}')"
+                    )
+                if shape is None:
+                    shape = function.grid.shape
+                elif function.grid.shape != shape:
+                    raise ValueError(
+                        "all grids of one Operator must share the same "
+                        f"shape, got {shape} and {function.grid.shape} "
+                        f"(on '{function.name}')"
+                    )
+
         fields: dict[str, FieldDecl] = {}
         for equation in self.equations:
             target = equation.target
-            fields.setdefault(
-                target.name,
-                FieldDecl(target.name, target.grid.shape, target.halo),
-            )
-            for access in equation.expression.accesses():
-                if access.field not in fields:
-                    fields[access.field] = FieldDecl(
-                        access.field, target.grid.shape, target.halo
-                    )
+            names = [target.name] + [
+                access.field for access in equation.expression.accesses()
+            ]
+            for name in names:
+                if name not in fields:
+                    fields[name] = FieldDecl(name, target.grid.shape, halo)
         program_equations = [
             StencilEquation(equation.target.name, as_expression(equation.expression))
             for equation in self.equations
@@ -130,4 +198,7 @@ class Operator:
             fields=list(fields.values()),
             equations=program_equations,
             time_steps=self.time_steps,
+            boundary=boundary
+            if boundary is not None
+            else BoundaryCondition.dirichlet(),
         )

@@ -18,6 +18,11 @@ single array assignment over constant-offset accesses, e.g. Listing 1:
 Array references use Fortran's column-major convention ``name(k, j, i)``
 (fastest-varying index first); loop variables are mapped onto the (x, y, z)
 dimensions of the stencil program as ``i -> x``, ``j -> y``, ``k -> z``.
+
+A boundary condition is selected with an ``!$omp``-style sentinel directive
+anywhere in the source — ``!$repro boundary(periodic)``,
+``!$repro boundary(reflect)`` or ``!$repro boundary(dirichlet: 1.5)``;
+without one the program keeps the Dirichlet-zero default.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.frontends.common import (
     Add,
+    BoundaryCondition,
     Constant,
     Expression,
     FieldAccess,
@@ -45,6 +51,15 @@ _DO_PATTERN = re.compile(
     r"do\s+(?P<var>\w+)\s*=\s*(?P<lower>-?\d+)\s*,\s*(?P<upper>-?\d+)", re.IGNORECASE
 )
 _ACCESS_PATTERN = re.compile(r"(?P<name>\w+)\s*\((?P<indices>[^()]*)\)")
+#: compiler directive selecting the boundary condition, in the style of
+#: ``!$omp`` sentinels (the sentinel must start the comment line):
+#: ``!$repro boundary(periodic)``, ``!$repro boundary(reflect)`` or
+#: ``!$repro boundary(dirichlet: 1.5)``.
+_BOUNDARY_DIRECTIVE = re.compile(
+    r"!\$repro\s+boundary\s*\(\s*(?P<kind>\w+)\s*"
+    r"(?:[:,]\s*(?P<value>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)\s*)?\)\s*$",
+    re.IGNORECASE,
+)
 
 
 @dataclass
@@ -163,7 +178,40 @@ def parse_fortran_stencil(
     lines = [line.strip() for line in source.strip().splitlines() if line.strip()]
     loops: list[_LoopSpec] = []
     assignments: list[str] = []
+    boundary = BoundaryCondition.dirichlet()
+    boundary_declared = False
     for line in lines:
+        if line.startswith("!"):
+            # Only a comment *starting* with the sentinel word is a
+            # directive; prose that merely mentions one — or a different
+            # word sharing the prefix (e.g. '!$reproducibility') — is an
+            # ordinary comment.
+            if re.match(r"!\$repro\b", line, re.IGNORECASE) is None:
+                continue
+            directive = _BOUNDARY_DIRECTIVE.match(line)
+            if directive is None:
+                # The sentinel makes the intent unambiguous: a directive the
+                # parser cannot read must not silently degrade to the default.
+                raise FortranParseError(
+                    f"malformed !$repro directive: '{line}' (expected e.g. "
+                    "'!$repro boundary(periodic)' or "
+                    "'!$repro boundary(dirichlet: 1.5)')"
+                )
+            if boundary_declared:
+                raise FortranParseError(
+                    f"duplicate !$repro boundary directive: '{line}' "
+                    f"(boundary already declared as '{boundary.spec}')"
+                )
+            kind = directive.group("kind").lower()
+            value_text = directive.group("value")
+            try:
+                boundary = BoundaryCondition.parse(
+                    f"{kind}:{value_text}" if value_text else kind
+                )
+            except ValueError as error:
+                raise FortranParseError(str(error)) from None
+            boundary_declared = True
+            continue
         do_match = _DO_PATTERN.match(line)
         if do_match:
             loops.append(
@@ -209,5 +257,9 @@ def parse_fortran_stencil(
         halo = tuple(max_offset)
     fields = [FieldDecl(field_name, shape, halo) for field_name in field_names]
     return StencilProgram(
-        name=name, fields=fields, equations=equations, time_steps=time_steps
+        name=name,
+        fields=fields,
+        equations=equations,
+        time_steps=time_steps,
+        boundary=boundary,
     )

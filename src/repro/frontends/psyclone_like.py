@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.frontends.common import (
+    BoundaryCondition,
     Expression,
     FieldAccess,
     FieldDecl,
@@ -41,10 +42,17 @@ class FieldArgument:
 
 @dataclass
 class KernelMetadata:
-    """Declarative description of a kernel's data accesses."""
+    """Declarative description of a kernel's data accesses.
+
+    ``boundary`` optionally declares the halo semantics the kernel assumes
+    (PSyclone kernels carry such metadata alongside their stencil extents);
+    kernels that leave it ``None`` accept whatever the algorithm layer
+    resolves.  Kernels combined in one algorithm must agree.
+    """
 
     name: str
     arguments: list[FieldArgument]
+    boundary: BoundaryCondition | None = None
 
     def written_fields(self) -> list[str]:
         return [
@@ -113,22 +121,50 @@ class AlgorithmLayer:
         return self
 
     def to_stencil_program(self) -> StencilProgram:
-        declarations: dict[str, FieldDecl] = {}
+        field_order: list[str] = []
         equations: list[StencilEquation] = []
+        boundary: BoundaryCondition | None = None
+        # Uniform program halo: the elementwise max of every declared
+        # stencil extent and every offset the kernels actually access — a
+        # builder reaching past its metadata's extent widens the halo
+        # instead of silently under-allocating it and reading stale padding
+        # (the same fix the Devito front-end applies at the Operator level).
+        halo = [1, 1, 1]
         for invoke in self.invokes:
             for kernel in invoke.kernels:
-                extent = max(1, kernel.metadata.max_extent())
-                halo = (extent, extent, extent)
-                for argument in kernel.metadata.arguments:
-                    existing = declarations.get(argument.name)
-                    if existing is None or max(existing.halo) < extent:
-                        declarations[argument.name] = FieldDecl(
-                            argument.name, self.grid_shape, halo
+                declared = kernel.metadata.boundary
+                if declared is not None:
+                    if boundary is None:
+                        boundary = declared
+                    elif declared != boundary:
+                        raise ValueError(
+                            "kernels of one algorithm must agree on the "
+                            f"boundary condition: kernel "
+                            f"'{kernel.metadata.name}' declares "
+                            f"{declared.spec!r} but an earlier kernel "
+                            f"declared {boundary.spec!r}"
                         )
-                equations.extend(kernel.build_equations())
+                extent = kernel.metadata.max_extent()
+                kernel_equations = kernel.build_equations()
+                for axis in range(3):
+                    halo[axis] = max(halo[axis], extent)
+                for equation in kernel_equations:
+                    for access in equation.expression.accesses():
+                        for axis, component in enumerate(access.offset):
+                            halo[axis] = max(halo[axis], abs(component))
+                for argument in kernel.metadata.arguments:
+                    if argument.name not in field_order:
+                        field_order.append(argument.name)
+                equations.extend(kernel_equations)
+        fields = [
+            FieldDecl(name, self.grid_shape, tuple(halo)) for name in field_order
+        ]
         return StencilProgram(
             name=self.name,
-            fields=list(declarations.values()),
+            fields=fields,
             equations=equations,
             time_steps=self.time_steps,
+            boundary=boundary
+            if boundary is not None
+            else BoundaryCondition.dirichlet(),
         )

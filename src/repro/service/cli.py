@@ -15,7 +15,8 @@ import argparse
 import sys
 import time
 
-from repro.benchmarks.definitions import BENCHMARKS, benchmark_by_name
+from repro.benchmarks.definitions import ALL_BENCHMARKS, benchmark_by_name
+from repro.frontends.common import BoundaryCondition
 from repro.service.cache import DiskArtifactCache
 from repro.service.service import CompileService
 from repro.transforms.pipeline import PipelineOptions
@@ -45,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmarks",
         nargs="+",
         metavar="BENCH",
-        help=f"benchmark names ({', '.join(b.name for b in BENCHMARKS)})",
+        help=f"benchmark names ({', '.join(b.name for b in ALL_BENCHMARKS)})",
     )
     compile_parser.add_argument(
         "--grid",
@@ -59,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_parser.add_argument(
         "--target", choices=("wse2", "wse3"), default="wse2"
+    )
+    compile_parser.add_argument(
+        "--boundary",
+        default=None,
+        metavar="MODE",
+        help="override the boundary condition compiled in: 'periodic', "
+        "'reflect', 'dirichlet' or 'dirichlet:VALUE' (default: the "
+        "benchmark's own declaration)",
     )
     compile_parser.add_argument(
         "--nz", type=int, default=16, help="z extent of the compiled program"
@@ -99,6 +108,11 @@ def _run_compile(args: argparse.Namespace, out) -> int:
     try:
         benchmarks = [benchmark_by_name(name) for name in args.benchmarks]
         width, height = args.grid
+        boundary = (
+            BoundaryCondition.parse(args.boundary)
+            if args.boundary is not None
+            else None
+        )
         jobs = []
         for benchmark in benchmarks:
             program = benchmark.program(
@@ -109,6 +123,7 @@ def _run_compile(args: argparse.Namespace, out) -> int:
                 grid_height=height,
                 num_chunks=args.num_chunks,
                 target=args.target,
+                boundary=boundary,
             )
             jobs.append((program, options))
         service = CompileService(max_workers=args.workers, cache_dir=args.cache_dir)

@@ -30,10 +30,25 @@ def canonical_json(payload: dict) -> str:
 def fingerprint_payload(
     program: StencilProgram, options: PipelineOptions
 ) -> dict:
-    """The document that gets hashed, exposed for tests and debugging."""
+    """The document that gets hashed, exposed for tests and debugging.
+
+    The boundary condition is hashed once, as the *effective* one: the
+    program's declaration only ever reaches the pipeline by inheritance
+    into ``options.boundary``, so a program declaring ``periodic`` and an
+    identical program overridden to ``periodic`` via the options compile
+    byte-identical artifacts — they are normalised into the program slot
+    (with the options slot nulled) and share one fingerprint.
+    """
+    effective = (
+        options.boundary if options.boundary is not None else program.boundary
+    )
+    program_canonical = program.canonical()
+    program_canonical["boundary"] = effective.canonical()
+    options_canonical = options.canonical()
+    options_canonical["boundary"] = None
     return {
-        "program": program.canonical(),
-        "options": options.canonical(),
+        "program": program_canonical,
+        "options": options_canonical,
         "pipeline": pipeline_stamp(options),
     }
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.baselines.numpy_ref import (
@@ -24,6 +26,30 @@ def random_initializer(seed: int = 7):
     return initializer
 
 
+def run_on_executor(
+    executor: str,
+    program: StencilProgram,
+    program_module,
+    seed: int = 13,
+):
+    """Load identical random data, execute, gather fields + statistics.
+
+    The shared harness of the golden equivalence suites: running the same
+    compiled module with the same seed on two executors must produce
+    byte-identical fields and equal statistics.
+    """
+    rng = np.random.default_rng(seed)
+    fields = allocate_fields(program, lambda name, shape: rng.uniform(-1, 1, shape))
+    simulator = WseSimulator(program_module, executor=executor)
+    for decl in program.fields:
+        simulator.load_field(
+            decl.name, field_to_columns(program, decl.name, fields[decl.name])
+        )
+    statistics = simulator.execute()
+    gathered = {decl.name: simulator.read_field(decl.name) for decl in program.fields}
+    return gathered, statistics
+
+
 def simulate_against_reference(
     program: StencilProgram,
     options: PipelineOptions,
@@ -35,8 +61,13 @@ def simulate_against_reference(
     Returns ``(simulated, reference)`` — both keyed by field name, both as
     per-PE column arrays of shape ``(nx, ny, z_total)``.  ``executor``
     selects the simulator backend (defaults to the process-wide choice).
+
+    The NumPy oracle runs under the boundary condition that was actually
+    compiled in, so an ``options.boundary`` override stays comparable.
     """
     result = compile_stencil_program(program, options)
+    if result.options.boundary != program.boundary:
+        program = replace(program, boundary=result.options.boundary)
     simulator = WseSimulator(result.program_module, executor=executor)
 
     fields = allocate_fields(program, random_initializer(seed))

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.dialects import csl_stencil, csl_wrapper, func
 from repro.ir import ModulePass
-from repro.ir.attributes import IntAttr
+from repro.ir.attributes import FloatAttr, IntAttr, StringAttr
 from repro.ir.exceptions import PassFailedException
 from repro.ir.operation import Operation
 from repro.dialects.builtin import ModuleOp
@@ -20,11 +20,18 @@ from repro.dialects.builtin import ModuleOp
 
 @dataclass
 class CslWrapperHoistPass(ModulePass):
-    """Wrap the kernel function in a ``csl_wrapper.module``."""
+    """Wrap the kernel function in a ``csl_wrapper.module``.
+
+    The boundary condition travels as wrapper attributes so the lowering can
+    stamp it onto the generated program and layout modules, where the
+    simulator's execution backends (and the printed CSL) pick it up.
+    """
 
     width: int = 1
     height: int = 1
     target: str = "wse2"
+    boundary_kind: str = "dirichlet"
+    boundary_value: float = 0.0
 
     name = "csl-wrapper-hoist"
 
@@ -80,6 +87,8 @@ class CslWrapperHoistPass(ModulePass):
             params=params,
             target=self.target,
         )
+        wrapper.attributes["boundary"] = StringAttr(self.boundary_kind)
+        wrapper.attributes["boundary_value"] = FloatAttr(self.boundary_value)
 
         kernel.detach()
         wrapper.program_region.block.add_op(kernel)

@@ -16,9 +16,22 @@ from __future__ import annotations
 from repro.dialects import csl, csl_wrapper
 from repro.dialects.builtin import ModuleOp
 from repro.ir import ModulePass
-from repro.ir.attributes import IntAttr, StringAttr
+from repro.ir.attributes import Attribute, FloatAttr, IntAttr, StringAttr
 from repro.ir.operation import Operation
 from repro.ir.types import i16
+
+
+def _boundary_attrs(
+    wrapper: csl_wrapper.ModuleOp,
+) -> tuple[StringAttr, FloatAttr]:
+    """The wrapper's boundary condition, defaulting to Dirichlet-zero."""
+    kind = wrapper.attributes.get("boundary")
+    value = wrapper.attributes.get("boundary_value")
+    if not isinstance(kind, StringAttr):
+        kind = StringAttr("dirichlet")
+    if not isinstance(value, FloatAttr):
+        value = FloatAttr(0.0)
+    return kind, value
 
 
 class LowerCslWrapperPass(ModulePass):
@@ -73,6 +86,9 @@ class LowerCslWrapperPass(ModulePass):
         layout.attributes["width"] = IntAttr(wrapper.width)
         layout.attributes["height"] = IntAttr(wrapper.height)
         layout.attributes["target"] = StringAttr(wrapper.target)
+        boundary_kind, boundary_value = _boundary_attrs(wrapper)
+        layout.attributes["boundary"] = boundary_kind
+        layout.attributes["boundary_value"] = boundary_value
         return layout
 
     def _build_program_module(
@@ -82,14 +98,16 @@ class LowerCslWrapperPass(ModulePass):
         for param in wrapper.params:
             param_op = csl.ParamOp(param.key, i16, param.value)
             ops.append(param_op)
+        boundary_kind, boundary_value = _boundary_attrs(wrapper)
         memcpy = csl.ImportModuleOp("<memcpy/memcpy>", {})
-        comms = csl.ImportModuleOp(
-            "stencil_comms.csl",
-            {
-                "pattern": IntAttr(wrapper.param_value("pattern") or 1),
-                "chunkSize": IntAttr(wrapper.param_value("chunk_size") or 1),
-            },
-        )
+        comms_fields: dict[str, Attribute] = {
+            "pattern": IntAttr(wrapper.param_value("pattern") or 1),
+            "chunkSize": IntAttr(wrapper.param_value("chunk_size") or 1),
+            "boundary": boundary_kind,
+        }
+        if boundary_kind.data == "dirichlet":
+            comms_fields["boundaryValue"] = boundary_value
+        comms = csl.ImportModuleOp("stencil_comms.csl", comms_fields)
         ops.extend([memcpy, comms])
 
         program_block = wrapper.program_region.block
@@ -109,4 +127,6 @@ class LowerCslWrapperPass(ModulePass):
         program.attributes["width"] = IntAttr(wrapper.width)
         program.attributes["height"] = IntAttr(wrapper.height)
         program.attributes["target"] = StringAttr(wrapper.target)
+        program.attributes["boundary"] = boundary_kind
+        program.attributes["boundary_value"] = boundary_value
         return program

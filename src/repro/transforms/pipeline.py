@@ -8,11 +8,15 @@ an executable PE program is built (:mod:`repro.backend.executable`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 
 from repro.dialects.builtin import ModuleOp
-from repro.frontends.common import StencilProgram, build_stencil_module
+from repro.frontends.common import (
+    BoundaryCondition,
+    StencilProgram,
+    build_stencil_module,
+)
 from repro.ir import PassManager, PipelineStatistics
 from repro.ir.operation import Operation
 from repro.transforms.arith_to_linalg import ArithToLinalgPass
@@ -39,7 +43,7 @@ from repro.transforms.varith_fuse_repeated_operands import (
 #: (:mod:`repro.service.fingerprint`).  Bump it whenever a pass changes the
 #: CSL it emits for an unchanged input program, so stale cached artifacts are
 #: never served after a compiler change.
-PIPELINE_VERSION = 2
+PIPELINE_VERSION = 3
 
 
 @dataclass
@@ -61,12 +65,21 @@ class PipelineOptions:
     enable_fmac_fusion: bool = True
     #: run in-place accumulation / copy forwarding (memory reuse).
     enable_memory_optimization: bool = True
+    #: boundary condition compiled into the program image.  ``None`` (the
+    #: default) inherits the :class:`StencilProgram`'s own boundary; a
+    #: :class:`BoundaryCondition` or compact spec string ("periodic",
+    #: "reflect", "dirichlet:1.5") overrides it.
+    boundary: BoundaryCondition | str | None = None
     #: verify the module after every pass (slower, useful in tests).
     verify_each: bool = True
 
     _VALID_TARGETS = ("wse2", "wse3")
 
     def __post_init__(self) -> None:
+        if self.boundary is not None and not isinstance(
+            self.boundary, BoundaryCondition
+        ):
+            self.boundary = BoundaryCondition.parse(self.boundary)
         if self.target not in self._VALID_TARGETS:
             raise ValueError(
                 f"invalid target {self.target!r}: expected one of "
@@ -97,7 +110,12 @@ class PipelineOptions:
 
         ``verify_each`` is deliberately excluded: it only toggles
         verification between passes and cannot change the emitted CSL, so two
-        compiles differing only in it share one cached artifact.
+        compiles differing only in it share one cached artifact.  ``boundary``
+        is encoded as its compact spec, ``None`` meaning "inherit from the
+        program" (whose own canonical form carries its boundary);
+        :func:`repro.service.fingerprint.fingerprint_payload` normalises an
+        explicit override equal to the program's boundary back to ``None``
+        so equivalent spellings share one fingerprint.
         """
         return {
             "grid_width": self.grid_width,
@@ -108,6 +126,7 @@ class PipelineOptions:
             "enable_varith_fusion": self.enable_varith_fusion,
             "enable_fmac_fusion": self.enable_fmac_fusion,
             "enable_memory_optimization": self.enable_memory_optimization,
+            "boundary": self.boundary.spec if self.boundary is not None else None,
         }
 
 
@@ -154,11 +173,18 @@ def build_pass_pipeline(options: PipelineOptions) -> PassManager:
 
     # Group 2: placement and communication.
     manager.add(StencilToCslStencilPass(num_chunks=options.num_chunks))
+    boundary = (
+        options.boundary
+        if options.boundary is not None
+        else BoundaryCondition.dirichlet()
+    )
     manager.add(
         CslWrapperHoistPass(
             width=options.grid_width,
             height=options.grid_height,
             target=options.target,
+            boundary_kind=boundary.kind,
+            boundary_value=boundary.value,
         )
     )
 
@@ -219,9 +245,15 @@ class CompilationResult:
 def compile_stencil_program(
     program: StencilProgram, options: PipelineOptions | None = None
 ) -> CompilationResult:
-    """Run the full pipeline: stencil program description -> csl-ir module."""
+    """Run the full pipeline: stencil program description -> csl-ir module.
+
+    When the options leave ``boundary`` unset, the program's own boundary
+    condition (declared through the front-end) is compiled in.
+    """
     if options is None:
         options = PipelineOptions.default_for(program)
+    if options.boundary is None:
+        options = replace(options, boundary=program.boundary)
     module = build_stencil_module(program)
     module.verify()
     pipeline = build_pass_pipeline(options)

@@ -39,7 +39,7 @@ class ReferenceExecutor(Executor):
                 interpreter = PeInterpreter(image, pe)
                 interpreter.initialise()
                 self.interpreters[(pe.x, pe.y)] = interpreter
-        self.runtime = CommsRuntime(self._grid)
+        self.runtime = CommsRuntime(self._grid, boundary=image.boundary)
 
     # ------------------------------------------------------------------ #
 

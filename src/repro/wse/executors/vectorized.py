@@ -14,8 +14,11 @@ backend exploits that structure:
   :class:`~repro.wse.pe.ProcessingElement`);
 * the chunked halo exchange of ``CommsRuntime`` becomes shifted-slice array
   copies: the data PE ``(x, y)`` pulls from its ``(x+dx, y+dy)`` neighbour is
-  the source array shifted by ``(-dy, -dx)`` with Dirichlet-zero fill at the
-  fabric border.
+  the source array shifted by ``(-dy, -dx)``.  The fabric border dispatches
+  on the program's :class:`~repro.frontends.common.BoundaryCondition` —
+  constant fill (``dirichlet``), wrapped rows/columns (``periodic``) or
+  edge-mirrored rows/columns (``reflect``) — via exactly the same index
+  folding the per-PE reference runtime uses.
 
 The arithmetic performed per element is identical to the reference backend
 (same NumPy ufuncs, same order), so results are bit-identical — the golden
@@ -111,6 +114,13 @@ class VectorizedExecutor(Executor):
         self.interpreter = LockstepInterpreter(image, self.state)
         self.interpreter.initialise()
         self._grid_views: list[list[_PeView]] | None = None
+        #: the compiled-in boundary condition (read once; the property on
+        #: the image rebuilds it from module attributes on every access).
+        self.boundary = image.boundary
+        #: per-direction folded gather indices (None = dirichlet fill path).
+        self._fold_cache: dict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray] | None
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # Host-side data movement
@@ -163,16 +173,53 @@ class VectorizedExecutor(Executor):
     # The chunked halo exchange as shifted-slice copies
     # ------------------------------------------------------------------ #
 
+    def _source_indices(
+        self, direction: tuple[int, int]
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Folded source rows/columns for a pull from ``(x+dx, y+dy)``.
+
+        Returns ``None`` under a Dirichlet boundary with at least one
+        off-fabric coordinate unresolvable (the caller constant-fills
+        instead); otherwise per-axis index vectors ready for one fancy-index
+        gather.  Memoised per direction: the folding is identical for every
+        chunk of every exchange.
+        """
+        key = (direction[0], direction[1])
+        if key not in self._fold_cache:
+            boundary = self.boundary
+            dx, dy = direction
+            rows = [boundary.fold(y + dy, self.height) for y in range(self.height)]
+            cols = [boundary.fold(x + dx, self.width) for x in range(self.width)]
+            if any(index is None for index in rows + cols):
+                self._fold_cache[key] = None
+            else:
+                self._fold_cache[key] = (
+                    np.asarray(rows, dtype=np.intp)[:, None],
+                    np.asarray(cols, dtype=np.intp)[None, :],
+                )
+        return self._fold_cache[key]
+
     def _shifted_chunk(
         self, source: np.ndarray, direction: tuple[int, int], start: int, stop: int
     ) -> np.ndarray:
         """The chunk every PE pulls from its ``(x+dx, y+dy)`` neighbour.
 
-        Out-of-fabric neighbours contribute zeros (Dirichlet-zero halo).
+        Off-fabric pulls follow the program's boundary condition: under
+        ``periodic``/``reflect`` every coordinate folds onto the fabric and
+        the whole grid is one gather; under ``dirichlet`` the in-fabric
+        region is a shifted-slice copy over a constant-fill background.
         """
+        indices = self._source_indices(direction)
+        if indices is not None:
+            rows, cols = indices
+            # Fancy indexing gathers a fresh (height, width, chunk) copy.
+            return source[rows, cols, start:stop]
+        boundary = self.boundary
         dx, dy = direction
         height, width = self.height, self.width
-        out = np.zeros((height, width, stop - start), dtype=np.float32)
+        out = np.full(
+            (height, width, stop - start), boundary.value, dtype=np.float32
+        )
         y0, y1 = max(0, -dy), min(height, height - dy)
         x0, x1 = max(0, -dx), min(width, width - dx)
         if y0 < y1 and x0 < x1:

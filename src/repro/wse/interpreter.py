@@ -13,7 +13,8 @@ from typing import Any
 import numpy as np
 
 from repro.dialects import arith, csl, scf
-from repro.ir.attributes import IntAttr, StringAttr
+from repro.frontends.common import BoundaryCondition
+from repro.ir.attributes import FloatAttr, IntAttr, StringAttr
 from repro.ir.exceptions import InterpretationError
 from repro.ir.operation import Block, Operation
 from repro.ir.value import SSAValue
@@ -60,6 +61,19 @@ class ProgramImage:
     def height(self) -> int:
         attr = self.module.attributes.get("height")
         return attr.value if isinstance(attr, IntAttr) else 1
+
+    @property
+    def boundary(self) -> BoundaryCondition:
+        """The boundary condition compiled into the program.
+
+        Images produced before the boundary attributes existed (or built by
+        hand in tests) fall back to the historical Dirichlet-zero halo.
+        """
+        kind_attr = self.module.attributes.get("boundary")
+        value_attr = self.module.attributes.get("boundary_value")
+        kind = kind_attr.data if isinstance(kind_attr, StringAttr) else "dirichlet"
+        value = value_attr.value if isinstance(value_attr, FloatAttr) else 0.0
+        return BoundaryCondition(kind, value if kind == "dirichlet" else 0.0)
 
     def task_by_id(self, task_id: int) -> "csl.TaskOp | None":
         for op in self.callables.values():

@@ -4,17 +4,20 @@ Implements the partitionable, star-shaped, chunked halo exchange: when every
 PE of the fabric has scheduled its exchange, the runtime snapshots the data
 each PE sends (phase 1), then — per PE — delivers each chunk into the
 receive buffer, invokes the receive callback per chunk, and finally invokes
-the completion callback (phase 2).  PEs outside the grid contribute zeros
-(Dirichlet-zero halo).
+the completion callback (phase 2).  What a PE receives from a direction that
+falls off the fabric is decided by the program's
+:class:`~repro.frontends.common.BoundaryCondition`: a constant-fill chunk
+(``dirichlet``), the chunk of the wrapped-around PE (``periodic``), or the
+chunk of the edge-mirrored PE (``reflect``).
 
 The two-phase structure guarantees every PE reads its neighbours' values as
 they were when the exchange was scheduled, which is exactly the semantics of
 the hardware exchange (all sends precede the local update of the field).
 
 This per-PE delivery serves the ``reference`` execution backend; the
-``vectorized`` backend implements the same two-phase protocol as whole-grid
-shifted-slice copies (see
-:meth:`repro.wse.executors.vectorized.VectorizedExecutor._deliver_round`)
+``vectorized`` backend implements the same two-phase protocol — including
+the same boundary-condition dispatch — as whole-grid shifted-slice copies
+(see :meth:`repro.wse.executors.vectorized.VectorizedExecutor._deliver_round`)
 and is validated bit-for-bit against this implementation.
 """
 
@@ -24,6 +27,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.frontends.common import BoundaryCondition
 from repro.wse.pe import ActivatedTask, PendingExchange, ProcessingElement
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,12 +35,32 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class CommsRuntime:
-    """Delivers pending exchanges across the PE grid."""
+    """Delivers pending exchanges across the PE grid.
 
-    def __init__(self, grid: list[list[ProcessingElement]]):
+    ``boundary`` selects what off-fabric directions contribute; it defaults
+    to the historical Dirichlet-zero halo.  The grid must be rectangular —
+    a ragged row list would silently truncate or over-index delivery, so it
+    is rejected up front.
+    """
+
+    def __init__(
+        self,
+        grid: list[list[ProcessingElement]],
+        boundary: BoundaryCondition | None = None,
+    ):
         self.grid = grid
         self.height = len(grid)
         self.width = len(grid[0]) if grid else 0
+        self.boundary = (
+            boundary if boundary is not None else BoundaryCondition.dirichlet()
+        )
+        for y, row in enumerate(grid):
+            if len(row) != self.width:
+                raise ValueError(
+                    f"ragged PE grid: row {y} has {len(row)} PEs but row 0 "
+                    f"has {self.width}; CommsRuntime requires a rectangular "
+                    f"{self.width}x{self.height} fabric"
+                )
 
     # ------------------------------------------------------------------ #
 
@@ -50,16 +74,23 @@ class CommsRuntime:
         """The chunk of the neighbour's column sent towards ``pe``.
 
         An access at offset ``(+1, 0)`` reads the value of the eastern
-        neighbour, so the data is pulled from PE ``(x+1, y)``.
+        neighbour, so the data is pulled from PE ``(x+1, y)``.  When that
+        coordinate falls off the fabric the boundary condition dispatches:
+        ``periodic``/``reflect`` fold it back onto a real PE and its chunk
+        is delivered instead, while ``dirichlet`` synthesises a
+        constant-fill chunk.
         """
-        nx, ny = pe.x + direction[0], pe.y + direction[1]
         start = exchange.source_offset + chunk_index * exchange.chunk_size
         stop = start + exchange.chunk_size
-        if 0 <= nx < self.width and 0 <= ny < self.height:
+        nx = self.boundary.fold(pe.x + direction[0], self.width)
+        ny = self.boundary.fold(pe.y + direction[1], self.height)
+        if nx is not None and ny is not None:
             neighbor = self.grid[ny][nx]
             source = neighbor.buffers[exchange.source_buffer]
             return source[start:stop].copy()
-        return np.zeros(exchange.chunk_size, dtype=np.float32)
+        return np.full(
+            exchange.chunk_size, self.boundary.value, dtype=np.float32
+        )
 
     # ------------------------------------------------------------------ #
 

@@ -99,6 +99,12 @@ class WseSimulator:
         return self._executor
 
     @property
+    def boundary(self):
+        """The boundary condition compiled into the program image (every
+        backend implements it identically, bit for bit)."""
+        return self.image.boundary
+
+    @property
     def grid(self):
         """The fabric as rows of per-PE state views."""
         return self._executor.grid

@@ -76,3 +76,34 @@ class TestBenchmarkCorrectness:
                 simulated[name], reference[name], rtol=2e-5, atol=1e-5,
                 err_msg=f"field '{name}' of benchmark {bench.name} diverged",
             )
+
+
+class TestBoundaryWorkloadRegistry:
+    """The boundary workloads ride alongside the paper's five kernels."""
+
+    def test_paper_tuple_is_untouched_and_extended_tuple_adds_two(self):
+        from repro.benchmarks import ALL_BENCHMARKS, BOUNDARY_BENCHMARKS
+
+        assert len(BOUNDARY_BENCHMARKS) == 2
+        assert len(ALL_BENCHMARKS) == len(BENCHMARKS) + 2
+        names = {benchmark.name for benchmark in BOUNDARY_BENCHMARKS}
+        assert names == {"Advection", "ReflectiveHeat"}
+
+    def test_lookup_finds_boundary_workloads(self):
+        assert benchmark_by_name("advection").boundary == "periodic"
+        assert benchmark_by_name("reflectiveheat").boundary == "reflect"
+
+    def test_paper_benchmarks_declare_dirichlet(self):
+        assert all(benchmark.boundary == "dirichlet" for benchmark in BENCHMARKS)
+
+    @pytest.mark.parametrize(
+        "name", ["Advection", "ReflectiveHeat"], ids=str.lower
+    )
+    def test_boundary_workloads_compile(self, name):
+        bench = benchmark_by_name(name)
+        program = bench.program(nx=5, ny=5, nz=10, time_steps=1)
+        assert program.boundary.kind == bench.boundary
+        result = compile_stencil_program(
+            program, PipelineOptions(grid_width=5, grid_height=5, num_chunks=2)
+        )
+        assert result.program_module is not None

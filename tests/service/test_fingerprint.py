@@ -109,3 +109,79 @@ def test_payload_carries_program_options_and_pipeline_stamp():
         make_program(), make_options(enable_stencil_inlining=False)
     )
     assert "stencil-inlining" not in no_inline["pipeline"]["passes"]
+
+
+class TestBoundaryFingerprinting:
+    """The fingerprint changes when (and only when) the boundary changes."""
+
+    def test_program_boundary_changes_the_fingerprint(self):
+        from dataclasses import replace
+
+        from repro.frontends.common import BoundaryCondition
+
+        base = compute_fingerprint(make_program(), make_options())
+        fingerprints = {base}
+        for boundary in (
+            BoundaryCondition.periodic(),
+            BoundaryCondition.reflect(),
+            BoundaryCondition.dirichlet(1.5),
+        ):
+            program = replace(make_program(), boundary=boundary)
+            fingerprints.add(compute_fingerprint(program, make_options()))
+        assert len(fingerprints) == 4
+
+    def test_options_boundary_override_changes_the_fingerprint(self):
+        base = compute_fingerprint(make_program(), make_options())
+        overridden = compute_fingerprint(
+            make_program(), make_options(boundary="periodic")
+        )
+        assert overridden != base
+
+    def test_unchanged_boundary_keeps_the_fingerprint(self):
+        from dataclasses import replace
+
+        from repro.frontends.common import BoundaryCondition
+
+        first = compute_fingerprint(
+            replace(make_program(), boundary=BoundaryCondition.periodic()),
+            make_options(),
+        )
+        second = compute_fingerprint(
+            replace(make_program(), boundary=BoundaryCondition.periodic()),
+            make_options(),
+        )
+        assert first == second
+
+    def test_payload_carries_the_effective_boundary_once(self):
+        payload = fingerprint_payload(
+            make_program(), make_options(boundary="reflect")
+        )
+        # The override is the effective boundary; it is hashed in the
+        # program slot and the options slot is normalised away.
+        assert payload["program"]["boundary"] == ["boundary", "reflect", 0.0]
+        assert payload["options"]["boundary"] is None
+
+    def test_declared_and_overridden_boundary_share_a_fingerprint(self):
+        """A program declaring periodic and an identical one overridden to
+        periodic compile byte-identical artifacts — one cache entry."""
+        from dataclasses import replace
+
+        from repro.frontends.common import BoundaryCondition
+
+        declared = compute_fingerprint(
+            replace(make_program(), boundary=BoundaryCondition.periodic()),
+            make_options(),
+        )
+        overridden = compute_fingerprint(
+            make_program(), make_options(boundary="periodic")
+        )
+        assert declared == overridden
+
+    def test_explicit_override_equal_to_program_boundary_is_normalised(self):
+        """'--boundary dirichlet' on a Dirichlet program compiles the same
+        artifact, so it must warm-hit the same cache entry."""
+        inherited = compute_fingerprint(make_program(), make_options())
+        explicit = compute_fingerprint(
+            make_program(), make_options(boundary="dirichlet")
+        )
+        assert explicit == inherited

@@ -164,3 +164,33 @@ class TestUnevenChunkRequests:
             for executor in EXECUTORS
         }
         assert outputs["reference"].tobytes() == outputs["vectorized"].tobytes()
+
+
+class TestRaggedGridValidation:
+    """Regression: CommsRuntime derived its width from row 0 only, so a
+    ragged grid silently truncated or over-indexed delivery."""
+
+    def test_ragged_grid_is_rejected_with_a_descriptive_error(self):
+        from repro.wse.pe import ProcessingElement
+        from repro.wse.runtime import CommsRuntime
+
+        grid = [
+            [ProcessingElement(x, 0) for x in range(3)],
+            [ProcessingElement(x, 1) for x in range(2)],
+        ]
+        with pytest.raises(ValueError, match="ragged PE grid: row 1 has 2"):
+            CommsRuntime(grid)
+
+    def test_rectangular_grids_still_accepted(self):
+        from repro.wse.pe import ProcessingElement
+        from repro.wse.runtime import CommsRuntime
+
+        grid = [[ProcessingElement(x, y) for x in range(3)] for y in range(2)]
+        runtime = CommsRuntime(grid)
+        assert (runtime.width, runtime.height) == (3, 2)
+
+    def test_empty_grid_is_accepted(self):
+        from repro.wse.runtime import CommsRuntime
+
+        runtime = CommsRuntime([])
+        assert (runtime.width, runtime.height) == (0, 0)

@@ -6,11 +6,10 @@ reference interpreter: byte-identical ``read_field`` results and equal
 pipeline-equivalence suite already pins down (Jacobian / Seismic / UVKBE).
 """
 
-import numpy as np
 import pytest
 
-from repro.baselines.numpy_ref import allocate_fields, field_to_columns
 from repro.benchmarks import benchmark_by_name
+from repro.tests_support import run_on_executor
 from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
 from repro.wse.executors import (
     EXECUTOR_ENV_VAR,
@@ -25,20 +24,6 @@ from repro.wse.simulator import WseSimulator
 GOLDEN_BENCHMARKS = ("Jacobian", "Seismic", "UVKBE")
 
 
-def _run_on(executor: str, program, program_module, seed: int = 13):
-    """Load identical random data, execute, and gather fields + statistics."""
-    rng = np.random.default_rng(seed)
-    fields = allocate_fields(program, lambda name, shape: rng.uniform(-1, 1, shape))
-    simulator = WseSimulator(program_module, executor=executor)
-    for decl in program.fields:
-        simulator.load_field(
-            decl.name, field_to_columns(program, decl.name, fields[decl.name])
-        )
-    statistics = simulator.execute()
-    gathered = {decl.name: simulator.read_field(decl.name) for decl in program.fields}
-    return gathered, statistics
-
-
 class TestGoldenEquivalence:
     @pytest.mark.parametrize("name", GOLDEN_BENCHMARKS)
     def test_fields_byte_identical_and_statistics_equal(self, name):
@@ -49,10 +34,10 @@ class TestGoldenEquivalence:
             program, PipelineOptions(grid_width=grid, grid_height=grid, num_chunks=2)
         )
 
-        reference_fields, reference_stats = _run_on(
+        reference_fields, reference_stats = run_on_executor(
             "reference", program, result.program_module
         )
-        vectorized_fields, vectorized_stats = _run_on(
+        vectorized_fields, vectorized_stats = run_on_executor(
             "vectorized", program, result.program_module
         )
 
