@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench sim-bench service service-smoke boundary-check lint
+.PHONY: test bench sim-bench service service-smoke run-service-check boundary-check lint
 
 # Tier-1 verification: the whole suite, fail fast.
 test:
@@ -11,8 +11,9 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-# Simulator throughput smoke: reference-vs-vectorized executor sweep with the
-# >=3x 8x8 speedup assertion; refreshes benchmarks/BENCH_simulator.json.
+# Simulator throughput smoke: the reference/vectorized sweep (>=3x on 8x8)
+# plus the paper-scale tiled-vs-vectorized head-to-head (>=1.5x on 64x64,
+# asserted on 2+ CPU hosts); refreshes BENCH_simulator.json at the repo root.
 sim-bench:
 	$(PYTHON) -m pytest benchmarks/test_simulator_throughput.py -q
 
@@ -27,6 +28,18 @@ service:
 service-smoke:
 	REPRO_CACHE_DIR=$$(mktemp -d) sh -c '\
 	  $(PYTHON) -m repro.service compile Jacobian UVKBE --grid 4x4 --repeat 2 && \
+	  $(PYTHON) -m repro.service stats && \
+	  $(PYTHON) -m repro.service purge'
+
+# End-to-end run service check: the run-job unit suite, the warm>=10x-cold
+# run-throughput assertion, then a CLI smoke path whose --repeat 2 exercises
+# a cold run followed by a warm run-cache hit.
+run-service-check:
+	$(PYTHON) -m pytest tests/service/test_run_service.py \
+	  benchmarks/test_service_throughput.py::test_warm_run_job_is_at_least_10x_faster_than_cold -q
+	REPRO_CACHE_DIR=$$(mktemp -d) sh -c '\
+	  $(PYTHON) -m repro.service run Jacobian UVKBE --grid 4x4 --nz 8 --time-steps 1 --repeat 2 && \
+	  $(PYTHON) -m repro.service run Jacobian --grid 4x4 --nz 8 --time-steps 1 --executor tiled && \
 	  $(PYTHON) -m repro.service stats && \
 	  $(PYTHON) -m repro.service purge'
 

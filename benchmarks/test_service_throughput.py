@@ -1,6 +1,6 @@
-"""Throughput measurements of the compilation service.
+"""Throughput measurements of the compilation and run services.
 
-Three claims are pinned down:
+Four claims are pinned down:
 
 * a warm-cache recompile of a benchmark is at least **10x** faster than its
   cold compile (the artifact is served from the content-addressed cache
@@ -9,24 +9,28 @@ Three claims are pinned down:
   batch serially, with 2+ pool workers (asserted on hosts with at least two
   usable CPUs; single-CPU hosts cannot express the parallelism and skip);
 * a pooled batch produces byte-identical artifacts to serial compilation,
-  so the parallelism is free of determinism hazards.
+  so the parallelism is free of determinism hazards;
+* a warm end-to-end **run job** is at least **10x** faster than its cold
+  run (compile + simulate + digest are all served from the run-artifact
+  cache) — the trajectory lands in ``BENCH_run_service.json`` at the repo
+  root in the shared schema.
 """
 
-import os
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.benchmarks import benchmark_by_name
+from repro.eval.trajectory import make_record, merge_trajectory
+from repro.service.run import RunService
 from repro.service.service import CompileService
+from repro.tests_support import usable_cpus
 from repro.transforms.pipeline import PipelineOptions
 
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
+RUN_TRAJECTORY_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_run_service.json"
+)
 
 
 def _seismic_config():
@@ -96,12 +100,12 @@ def test_warm_disk_store_survives_a_service_restart(tmp_path):
 
 
 @pytest.mark.skipif(
-    _usable_cpus() < 2,
+    usable_cpus() < 2,
     reason="parallel-vs-serial wall-clock needs at least 2 usable CPUs",
 )
 def test_parallel_batch_beats_serial_compilation(tmp_path):
     configs = _batch_configs()
-    workers = min(4, _usable_cpus())
+    workers = min(4, usable_cpus())
     assert workers >= 2
 
     with CompileService(cache_dir=tmp_path / "serial-store") as serial:
@@ -123,6 +127,48 @@ def test_parallel_batch_beats_serial_compilation(tmp_path):
     assert parallel_seconds < serial_seconds, (
         f"parallel batch ({workers} workers) took {parallel_seconds * 1e3:.1f} ms, "
         f"serial took {serial_seconds * 1e3:.1f} ms"
+    )
+
+
+def test_warm_run_job_is_at_least_10x_faster_than_cold(tmp_path, monkeypatch):
+    """Cold: pipeline + simulation + digests; warm: one cache lookup."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    benchmark = benchmark_by_name("Jacobian")
+    grid = 8
+    program = benchmark.program(nx=grid, ny=grid, nz=32, time_steps=2)
+    options = PipelineOptions(grid_width=grid, grid_height=grid, num_chunks=2)
+
+    with RunService() as service:
+        start = time.perf_counter()
+        cold_artifact = service.run(program, options, executor="vectorized")
+        cold_seconds = time.perf_counter() - start
+        assert service.statistics.simulations == 1
+
+        warm_seconds = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            warm_artifact = service.run(program, options, executor="vectorized")
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+        assert service.statistics.simulations == 1  # never re-simulated
+        assert warm_artifact == cold_artifact
+
+    speedup = cold_seconds / warm_seconds
+    merge_trajectory(
+        RUN_TRAJECTORY_PATH,
+        [
+            make_record(
+                "Jacobian", f"{grid}x{grid}", "run-service-cold",
+                cold_seconds, 1.0,
+            ),
+            make_record(
+                "Jacobian", f"{grid}x{grid}", "run-service-warm",
+                warm_seconds, speedup,
+            ),
+        ],
+    )
+    assert speedup >= 10.0, (
+        f"warm run job only {speedup:.1f}x faster than cold "
+        f"({warm_seconds * 1e3:.3f} ms vs {cold_seconds * 1e3:.1f} ms)"
     )
 
 

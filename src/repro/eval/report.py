@@ -18,7 +18,30 @@ from repro.eval.figure7 import format_figure7
 from repro.eval.table1 import format_table1
 from repro.frontends.common import BoundaryCondition
 from repro.service.service import default_service
-from repro.wse.executors import available_executors, default_executor_name
+from repro.wse.executors import (
+    available_executors,
+    default_executor_name,
+    executor_by_name,
+)
+
+
+def format_execution_backends() -> str:
+    """The registered execution backends, with the active default marked.
+
+    Every backend replays the same pre-compiled execution plan and is
+    pinned bit-identical to the others by the golden equivalence tests, so
+    the choice is purely a throughput/deployment decision.
+    """
+    active = default_executor_name()
+    lines = ["Execution backends"]
+    for name in available_executors():
+        doc = (executor_by_name(name).__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        marker = "*" if name == active else " "
+        lines.append(f"  {marker} {name:<12} {summary}")
+    lines.append("  (* = active default; select with REPRO_EXECUTOR or "
+                 "WseSimulator(executor=...))")
+    return "\n".join(lines)
 
 
 def format_boundary_modes() -> str:
@@ -59,6 +82,7 @@ def full_report(include_service_statistics: bool = True) -> str:
         format_figure7(),
         format_table1(),
         format_boundary_modes(),
+        format_execution_backends(),
     ]
     if include_service_statistics:
         sections.append(default_service().format_statistics())

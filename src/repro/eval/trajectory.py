@@ -1,0 +1,94 @@
+"""The shared schema of benchmark trajectory files (``BENCH_*.json``).
+
+Every benchmark that records a wall-time trajectory writes one
+``BENCH_<name>.json`` file **at the repository root** (they are gitignored:
+timings are host-specific, and CI uploads them as artifacts instead).  All
+files share one record schema so trend tooling can concatenate them:
+
+``{"name": str, "grid": "WxH", "executor": str, "seconds": float,
+"speedup": float}``
+
+``speedup`` is relative to the record's baseline executor (1.0 for the
+baseline itself); ``executor`` names the execution backend measured, or a
+stage label (e.g. ``run-service``) for non-simulator benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: the exact keys every trajectory record must carry.
+RECORD_KEYS = ("name", "grid", "executor", "seconds", "speedup")
+
+#: bump when the record shape changes.
+TRAJECTORY_SCHEMA_VERSION = 1
+
+
+def make_record(
+    name: str, grid: str, executor: str, seconds: float, speedup: float
+) -> dict:
+    """One schema-conforming trajectory record."""
+    return {
+        "name": name,
+        "grid": grid,
+        "executor": executor,
+        "seconds": round(float(seconds), 6),
+        "speedup": round(float(speedup), 3),
+    }
+
+
+def write_trajectory(path: str | Path, records: list[dict]) -> Path:
+    """Validate and write one ``BENCH_*.json`` trajectory file.
+
+    The file name must match ``BENCH_*.json`` and every record must carry
+    exactly the shared keys — a drive-by extra field would silently fork
+    the schema the satellite tooling expects.
+    """
+    path = Path(path)
+    if not (path.name.startswith("BENCH_") and path.name.endswith(".json")):
+        raise ValueError(
+            f"trajectory files are named BENCH_*.json, got {path.name!r}"
+        )
+    for record in records:
+        if tuple(sorted(record)) != tuple(sorted(RECORD_KEYS)):
+            raise ValueError(
+                f"trajectory record keys {sorted(record)} do not match the "
+                f"shared schema {sorted(RECORD_KEYS)}"
+            )
+    payload = {
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "records": records,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trajectory(path: str | Path) -> list[dict]:
+    """Read a trajectory file back, validating the schema version."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("schema_version") != TRAJECTORY_SCHEMA_VERSION:
+        raise ValueError(
+            f"trajectory schema {data.get('schema_version')!r} does not match "
+            f"current version {TRAJECTORY_SCHEMA_VERSION}"
+        )
+    return data["records"]
+
+
+def merge_trajectory(path: str | Path, records: list[dict]) -> Path:
+    """Merge new records into a trajectory file by ``(name, grid, executor)``.
+
+    Existing records with the same key are replaced, everything else is
+    preserved — so independent benchmarks (or a partial rerun of one) each
+    refresh their own rows without clobbering the rest of the file.  An
+    unreadable or stale-schema file is simply rewritten.
+    """
+    path = Path(path)
+    key = lambda record: (record["name"], record["grid"], record["executor"])
+    try:
+        existing = read_trajectory(path)
+    except (OSError, ValueError, KeyError):
+        existing = []
+    fresh_keys = {key(record) for record in records}
+    merged = [r for r in existing if key(r) not in fresh_keys] + list(records)
+    return write_trajectory(path, merged)

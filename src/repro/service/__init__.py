@@ -8,7 +8,12 @@ Layered on top of the one-shot ``compile_stencil_program``:
   an on-disk store) keyed by fingerprint;
 * :mod:`repro.service.service` — :class:`CompileService`, which serves
   cache hits and fans cache misses out over a process pool;
-* :mod:`repro.service.cli` — ``python -m repro.service`` batch front door.
+* :mod:`repro.service.run` — :class:`RunService`, end-to-end run jobs
+  (compile → simulate → field digests) content-addressed by run
+  fingerprints that fold in the executor, seed, round budget and
+  execution-plan version;
+* :mod:`repro.service.cli` — ``python -m repro.service`` batch front door
+  (``compile`` / ``run`` / ``stats`` / ``purge``).
 """
 
 from repro.service.cache import (
@@ -20,6 +25,13 @@ from repro.service.cache import (
     REPRO_CACHE_DIR_ENV,
 )
 from repro.service.fingerprint import canonical_json, compute_fingerprint
+from repro.service.run import (
+    RunArtifact,
+    RunArtifactStore,
+    RunService,
+    RunServiceStatistics,
+    compute_run_fingerprint,
+)
 from repro.service.service import (
     CompileJob,
     CompileService,
@@ -38,10 +50,15 @@ __all__ = [
     "DiskArtifactCache",
     "InMemoryArtifactCache",
     "REPRO_CACHE_DIR_ENV",
+    "RunArtifact",
+    "RunArtifactStore",
+    "RunService",
+    "RunServiceStatistics",
     "ServiceStatistics",
     "build_artifact",
     "canonical_json",
     "compute_fingerprint",
+    "compute_run_fingerprint",
     "default_service",
     "reset_default_service",
 ]

@@ -1,12 +1,15 @@
-"""``python -m repro.service`` — batch compilation front door.
+"""``python -m repro.service`` — batch compilation and simulation front door.
 
-Three subcommands:
+Four subcommands:
 
 * ``compile BENCH [BENCH ...]`` — compile named paper benchmarks through the
   service (optionally in parallel and/or repeated to show warm-cache reuse)
   and print per-job outcomes plus the service statistics;
-* ``stats`` — describe the on-disk artifact store;
-* ``purge`` — empty the on-disk artifact store.
+* ``run BENCH [BENCH ...]`` — end-to-end run jobs: compile, simulate on a
+  chosen execution backend, and print the per-field result digests; repeats
+  are served from the run-artifact cache;
+* ``stats`` — describe the on-disk artifact stores (compile + run);
+* ``purge`` — empty the on-disk artifact stores.
 """
 
 from __future__ import annotations
@@ -18,8 +21,15 @@ import time
 from repro.benchmarks.definitions import ALL_BENCHMARKS, benchmark_by_name
 from repro.frontends.common import BoundaryCondition
 from repro.service.cache import DiskArtifactCache
+from repro.service.run import (
+    DEFAULT_MAX_ROUNDS,
+    DEFAULT_RUN_SEED,
+    RunArtifactStore,
+    RunService,
+)
 from repro.service.service import CompileService
 from repro.transforms.pipeline import PipelineOptions
+from repro.wse.executors import available_executors
 
 
 def _parse_grid(text: str) -> tuple[int, int]:
@@ -32,36 +42,26 @@ def _parse_grid(text: str) -> tuple[int, int]:
         ) from None
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.service",
-        description="Cached, batched compilation of the paper benchmarks.",
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
-
-    compile_parser = subparsers.add_parser(
-        "compile", help="compile named benchmarks through the service"
-    )
-    compile_parser.add_argument(
+def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
+    """The benchmark/configuration arguments ``compile`` and ``run`` share."""
+    parser.add_argument(
         "benchmarks",
         nargs="+",
         metavar="BENCH",
         help=f"benchmark names ({', '.join(b.name for b in ALL_BENCHMARKS)})",
     )
-    compile_parser.add_argument(
+    parser.add_argument(
         "--grid",
         type=_parse_grid,
         default=(4, 4),
         metavar="WxH",
         help="PE grid extent (default 4x4)",
     )
-    compile_parser.add_argument(
+    parser.add_argument(
         "--num-chunks", type=int, default=2, help="communication chunks"
     )
-    compile_parser.add_argument(
-        "--target", choices=("wse2", "wse3"), default="wse2"
-    )
-    compile_parser.add_argument(
+    parser.add_argument("--target", choices=("wse2", "wse3"), default="wse2")
+    parser.add_argument(
         "--boundary",
         default=None,
         metavar="MODE",
@@ -69,63 +69,109 @@ def build_parser() -> argparse.ArgumentParser:
         "'reflect', 'dirichlet' or 'dirichlet:VALUE' (default: the "
         "benchmark's own declaration)",
     )
-    compile_parser.add_argument(
+    parser.add_argument(
         "--nz", type=int, default=16, help="z extent of the compiled program"
     )
-    compile_parser.add_argument(
+    parser.add_argument(
         "--time-steps", type=int, default=2, help="time-step count"
     )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="submit the batch N times (repeats exercise the warm cache)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="override the artifact store location"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Cached, batched compilation and simulation of the "
+        "paper benchmarks.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile named benchmarks through the service"
+    )
+    _add_job_arguments(compile_parser)
     compile_parser.add_argument(
         "--workers",
         type=int,
         default=0,
         help="process-pool workers (0 = compile inline)",
     )
-    compile_parser.add_argument(
-        "--repeat",
-        type=int,
-        default=1,
-        help="submit the batch N times (repeats exercise the warm cache)",
+
+    run_parser = subparsers.add_parser(
+        "run",
+        help="end-to-end run jobs: compile, simulate, print field digests",
     )
-    compile_parser.add_argument(
-        "--cache-dir", default=None, help="override the artifact store location"
+    _add_job_arguments(run_parser)
+    run_parser.add_argument(
+        "--executor",
+        default=None,
+        metavar="NAME",
+        help=f"execution backend ({', '.join(available_executors())}; "
+        f"default: REPRO_EXECUTOR or the built-in default)",
+    )
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_RUN_SEED,
+        help="input-field seed (part of the run fingerprint)",
+    )
+    run_parser.add_argument(
+        "--max-rounds",
+        type=int,
+        default=DEFAULT_MAX_ROUNDS,
+        help="delivery-round budget (part of the run fingerprint)",
     )
 
     stats_parser = subparsers.add_parser(
-        "stats", help="describe the on-disk artifact store"
+        "stats", help="describe the on-disk artifact stores"
     )
     stats_parser.add_argument("--cache-dir", default=None)
 
     purge_parser = subparsers.add_parser(
-        "purge", help="delete every artifact in the on-disk store"
+        "purge", help="delete every artifact in the on-disk stores"
     )
     purge_parser.add_argument("--cache-dir", default=None)
 
     return parser
 
 
+def _build_jobs(args: argparse.Namespace):
+    """The (benchmark, program, options) jobs a ``compile``/``run`` names."""
+    benchmarks = [benchmark_by_name(name) for name in args.benchmarks]
+    width, height = args.grid
+    boundary = (
+        BoundaryCondition.parse(args.boundary)
+        if args.boundary is not None
+        else None
+    )
+    jobs = []
+    for benchmark in benchmarks:
+        program = benchmark.program(
+            nx=width, ny=height, nz=args.nz, time_steps=args.time_steps
+        )
+        options = PipelineOptions(
+            grid_width=width,
+            grid_height=height,
+            num_chunks=args.num_chunks,
+            target=args.target,
+            boundary=boundary,
+        )
+        jobs.append((program, options))
+    return benchmarks, jobs
+
+
 def _run_compile(args: argparse.Namespace, out) -> int:
     try:
-        benchmarks = [benchmark_by_name(name) for name in args.benchmarks]
+        benchmarks, jobs = _build_jobs(args)
         width, height = args.grid
-        boundary = (
-            BoundaryCondition.parse(args.boundary)
-            if args.boundary is not None
-            else None
-        )
-        jobs = []
-        for benchmark in benchmarks:
-            program = benchmark.program(
-                nx=width, ny=height, nz=args.nz, time_steps=args.time_steps
-            )
-            options = PipelineOptions(
-                grid_width=width,
-                grid_height=height,
-                num_chunks=args.num_chunks,
-                target=args.target,
-                boundary=boundary,
-            )
-            jobs.append((program, options))
         service = CompileService(max_workers=args.workers, cache_dir=args.cache_dir)
     except (KeyError, ValueError) as error:
         # Unknown benchmark names and out-of-range option values share the
@@ -161,18 +207,71 @@ def _run_compile(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_run(args: argparse.Namespace, out) -> int:
+    try:
+        benchmarks, jobs = _build_jobs(args)
+        service = RunService(cache_dir=args.cache_dir)
+        if args.executor is not None:
+            from repro.wse.executors import executor_by_name
+
+            executor_by_name(args.executor)  # friendly error before any work
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    with service:
+        for round_index in range(args.repeat):
+            round_start = time.perf_counter()
+            hits_before = service.statistics.cache_hits
+            futures = service.submit_batch(
+                jobs,
+                executor=args.executor,
+                seed=args.seed,
+                max_rounds=args.max_rounds,
+            )
+            artifacts = [future.result() for future in futures]
+            elapsed = time.perf_counter() - round_start
+            hits = service.statistics.cache_hits - hits_before
+            print(
+                f"round {round_index + 1}/{args.repeat}: "
+                f"{len(artifacts)} runs in {elapsed * 1e3:.1f} ms "
+                f"({hits} served from run cache)",
+                file=out,
+            )
+            for benchmark, artifact in zip(benchmarks, artifacts):
+                digest_summary = ", ".join(
+                    f"{name}={digest[:12]}"
+                    for name, digest in sorted(artifact.field_digests.items())
+                )
+                print(
+                    f"  {artifact.fingerprint[:12]}  {benchmark.name:<10} "
+                    f"{artifact.executor}  "
+                    f"{artifact.grid_width}x{artifact.grid_height}  "
+                    f"{artifact.rounds} rounds  {digest_summary}",
+                    file=out,
+                )
+        print(service.format_statistics(), file=out)
+    return 0
+
+
 def _run_stats(args: argparse.Namespace, out) -> int:
     store = DiskArtifactCache(args.cache_dir)
+    runs = RunArtifactStore(args.cache_dir)
     print(f"artifact store: {store.directory}", file=out)
     print(f"  artifacts: {len(store)}", file=out)
     print(f"  bytes:     {store.total_bytes()}", file=out)
+    print(f"run store:      {runs.directory}", file=out)
+    print(f"  artifacts: {len(runs)}", file=out)
+    print(f"  bytes:     {runs.total_bytes()}", file=out)
     return 0
 
 
 def _run_purge(args: argparse.Namespace, out) -> int:
     store = DiskArtifactCache(args.cache_dir)
     removed = store.purge()
+    runs_removed = RunArtifactStore(args.cache_dir).purge()
     print(f"purged {removed} artifacts from {store.directory}", file=out)
+    print(f"purged {runs_removed} run artifacts", file=out)
     return 0
 
 
@@ -180,6 +279,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "compile":
         return _run_compile(args, out)
+    if args.command == "run":
+        return _run_run(args, out)
     if args.command == "stats":
         return _run_stats(args, out)
     if args.command == "purge":

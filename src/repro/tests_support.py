@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 
 import numpy as np
@@ -14,6 +15,19 @@ from repro.baselines.numpy_ref import (
 from repro.frontends.common import StencilProgram
 from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
 from repro.wse.simulator import WseSimulator
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-aware).
+
+    The parallelism floors in the benchmarks (pool compiles, tiled shard
+    speedup) are asserted only when the host can express them; plain
+    ``os.cpu_count()`` over-reports inside affinity-restricted containers.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
 
 
 def random_initializer(seed: int = 7):

@@ -1,6 +1,7 @@
 """Pluggable execution backends for the WSE fabric simulator.
 
-Two backends ship in-tree:
+Three backends ship in-tree, all replaying the same pre-compiled
+:class:`~repro.wse.plan.ExecutionPlan`:
 
 * ``reference`` — the original per-PE Python interpreter
   (:mod:`repro.wse.executors.reference`): one interpreter loop per PE,
@@ -9,10 +10,16 @@ Two backends ship in-tree:
   (:mod:`repro.wse.executors.vectorized`): interprets the SPMD program image
   once and executes every csl-ir op as whole-grid NumPy array math.
   Bit-identical to the reference and several times faster at 8×8+ grids.
+* ``tiled`` — the sharded multiprocess executor
+  (:mod:`repro.wse.executors.tiled`): partitions the fabric into K×K shards
+  run on forked worker processes over shared-memory buffers, with per-round
+  seam exchange.  Bit-identical to ``vectorized`` and faster on large
+  (32×32+) grids with 2+ CPUs.
 
 Selection, in priority order: the ``executor=`` argument of
 :class:`repro.wse.simulator.WseSimulator`, the ``REPRO_EXECUTOR``
-environment variable, then the built-in default (``vectorized``).
+environment variable, then the built-in default (``vectorized``).  Unknown
+names raise and list the registered backends.
 """
 
 from repro.wse.executors.base import (
@@ -28,6 +35,7 @@ from repro.wse.executors.base import (
 
 # Importing the backend modules registers them.
 from repro.wse.executors.reference import ReferenceExecutor
+from repro.wse.executors.tiled import TiledExecutor
 from repro.wse.executors.vectorized import VectorizedExecutor
 
 __all__ = [
@@ -36,6 +44,7 @@ __all__ = [
     "Executor",
     "ReferenceExecutor",
     "SimulationStatistics",
+    "TiledExecutor",
     "VectorizedExecutor",
     "available_executors",
     "default_executor_name",

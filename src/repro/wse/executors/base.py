@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.ir.exceptions import InterpretationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.wse.interpreter import ProgramImage
+    from repro.wse.plan import ExecutionPlan
 
 #: environment variable selecting the process-wide default backend.
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
@@ -50,6 +51,32 @@ class SimulationStatistics:
     wavelets_sent: int = 0
     max_pe_memory_bytes: int = 0
 
+    @classmethod
+    def merge(
+        cls, parts: "Iterable[SimulationStatistics]"
+    ) -> "SimulationStatistics":
+        """Fold several statistics into one: counters sum, peak memory maxes.
+
+        This is the aggregation rule for partitioned execution — the tiled
+        backend merges its per-shard statistics with it — and for any host
+        rolling several runs up into one report.  ``max_pe_memory_bytes`` is
+        a per-PE peak, not activity, so it takes the maximum.
+        """
+        merged = cls()
+        for part in parts:
+            for field in fields(cls):
+                if field.name == "max_pe_memory_bytes":
+                    merged.max_pe_memory_bytes = max(
+                        merged.max_pe_memory_bytes, part.max_pe_memory_bytes
+                    )
+                else:
+                    setattr(
+                        merged,
+                        field.name,
+                        getattr(merged, field.name) + getattr(part, field.name),
+                    )
+        return merged
+
 
 def missing_field_error(name: str, available, coords: tuple[int, int]) -> KeyError:
     """The diagnosable error for a host access to an unknown field."""
@@ -71,11 +98,30 @@ class Executor(ABC):
     #: registry key; subclasses must override.
     name = "abstract"
 
-    def __init__(self, image: "ProgramImage", width: int, height: int):
+    def __init__(
+        self,
+        image: "ProgramImage",
+        width: int,
+        height: int,
+        plan: "ExecutionPlan | None" = None,
+    ):
+        from repro.wse.plan import ExecutionPlan
+
         self.image = image
         self.width = width
         self.height = height
+        #: the pre-compiled execution plan every backend replays.  The
+        #: simulator facade compiles it once and hands it down; direct
+        #: constructions (tests, tools) get their own.
+        self.plan = (
+            plan
+            if plan is not None
+            else ExecutionPlan.compile(image, width, height)
+        )
         self.statistics = SimulationStatistics()
+        #: set by :meth:`launch`, consumed by :meth:`run`: a run with no
+        #: newly-launched entry is a settled no-op on every backend.
+        self._pending_launch = False
 
     # ------------------------------------------------------------------ #
     # Host-side data movement (the memcpy library's role)
@@ -125,7 +171,21 @@ class Executor(ABC):
         """Invoke the host-callable entry point on every PE."""
 
     def run(self, max_rounds: int = 1_000_000) -> SimulationStatistics:
-        """Run delivery rounds until every PE has halted."""
+        """Run delivery rounds until every PE has halted.
+
+        Without a :meth:`launch` since the last run there is nothing to
+        drive: the statistics are returned unchanged (re-collecting would
+        double-fold the cumulative per-PE counters).  The guard lives here
+        so the no-op semantics are identical on every backend; backends
+        with their own round scheduling override :meth:`_run_rounds`.
+        """
+        if not self._pending_launch:
+            return self.statistics
+        self._pending_launch = False
+        return self._run_rounds(max_rounds)
+
+    def _run_rounds(self, max_rounds: int) -> SimulationStatistics:
+        """Drive the delivery-round loop (hook-based default)."""
         for _ in range(max_rounds):
             self._drain_tasks()
             if self._all_settled():
@@ -176,9 +236,20 @@ _REGISTRY: dict[str, type[Executor]] = {}
 
 
 def register_executor(cls: type[Executor]) -> type[Executor]:
-    """Class decorator registering an executor under its ``name``."""
+    """Class decorator registering an executor under its ``name``.
+
+    Re-registering the same class is a no-op (module re-imports); a
+    *different* class claiming a taken name is rejected — silently shadowing
+    a backend would make ``REPRO_EXECUTOR`` selection ambiguous.
+    """
     if cls.name == Executor.name:
         raise ValueError("executors must define a registry name")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"executor name '{cls.name}' is already registered to "
+            f"{existing.__qualname__}; pick a distinct registry name"
+        )
     _REGISTRY[cls.name] = cls
     return cls
 

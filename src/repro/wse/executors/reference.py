@@ -28,18 +28,26 @@ class ReferenceExecutor(Executor):
 
     name = "reference"
 
-    def __init__(self, image: ProgramImage, width: int, height: int):
-        super().__init__(image, width, height)
+    def __init__(
+        self,
+        image: ProgramImage,
+        width: int,
+        height: int,
+        plan=None,
+    ):
+        super().__init__(image, width, height, plan)
         self._grid: list[list[ProcessingElement]] = [
             [ProcessingElement(x, y) for x in range(width)] for y in range(height)
         ]
         self.interpreters: dict[tuple[int, int], PeInterpreter] = {}
         for row in self._grid:
             for pe in row:
-                interpreter = PeInterpreter(image, pe)
+                interpreter = PeInterpreter(image, pe, self.plan)
                 interpreter.initialise()
                 self.interpreters[(pe.x, pe.y)] = interpreter
-        self.runtime = CommsRuntime(self._grid, boundary=image.boundary)
+        self.runtime = CommsRuntime(
+            self._grid, boundary=self.plan.boundary, plan=self.plan
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -80,6 +88,7 @@ class ReferenceExecutor(Executor):
         entry_name = entry if entry is not None else self.image.entry
         for interpreter in self.interpreters.values():
             interpreter.run_callable(entry_name)
+        self._pending_launch = True
 
     def _drain_tasks(self) -> None:
         for interpreter in self.interpreters.values():

@@ -1,0 +1,682 @@
+"""The tiled backend: K×K fabric shards on a multiprocess pool.
+
+The vectorized lockstep executor turned the per-PE interpretation into
+whole-grid array math; this backend distributes that math.  The fabric is
+partitioned into a K×K grid of rectangular *shards*, each owned by one
+worker process.  Every buffer of the program lives in one full-grid
+shared-memory array (an anonymous ``mmap`` backing a
+``multiprocessing.RawArray``), so
+
+* each worker's compute is ordinary lockstep interpretation over *views*
+  restricted to its shard rows/columns — the identical NumPy ufuncs on a
+  sub-rectangle are bit-identical to the vectorized whole-grid op;
+* the per-round *seam exchange* between shards needs no copies or message
+  passing: a shard gathers the halo data it pulls from neighbouring shards
+  straight out of the shared full-grid source array, using the same
+  plan-compiled fold tables as every other backend (outer fabric borders
+  keep the program's boundary semantics; seams are plain interior reads).
+
+Correctness of the two-phase exchange (all sends snapshot neighbour values
+*as scheduled*, before any receive callback mutates a buffer) is preserved
+across processes by two barriers per delivery round: one after all shards
+have drained their tasks (no shard snapshots while another still computes),
+one after all shards have snapshotted (no shard writes while another still
+reads).  Because the programs are strictly SPMD, every shard runs the same
+uniform control flow and settles in the same round, so no further consensus
+is needed.
+
+Shard workers are forked, which shares the program image and plan for free;
+platforms without ``fork`` (and degenerate 1-shard grids) fall back to
+driving the shards sequentially in-process on the exact same two-phase
+schedule — bit-identical, merely not parallel.  ``REPRO_TILED_SHARDS``
+overrides the shard-grid extent K (default 2, clamped to the fabric).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.exceptions import InterpretationError
+from repro.wse.executors.base import (
+    Executor,
+    SimulationStatistics,
+    missing_field_error,
+    register_executor,
+)
+from repro.wse.executors.vectorized import (
+    GridState,
+    LockstepInterpreter,
+    deliver_exchange_chunks,
+    stage_exchange_chunks,
+)
+from repro.wse.interpreter import ProgramImage
+from repro.wse.pe import PE_COUNTER_NAMES, new_pe_counters
+from repro.wse.plan import ExecutionPlan
+
+#: environment variable overriding the shard-grid extent (K of K×K).
+SHARD_ENV_VAR = "REPRO_TILED_SHARDS"
+
+#: default shard-grid extent: 2×2 = 4 workers.
+DEFAULT_SHARD_EXTENT = 2
+
+#: ceiling on any single barrier wait / result collection (seconds); shard
+#: divergence (which SPMD uniformity rules out) surfaces as an error
+#: instead of a hang.
+SYNC_TIMEOUT_SECONDS = 600.0
+
+
+def shard_extent(width: int, height: int) -> int:
+    """The shard-grid extent K: ``REPRO_TILED_SHARDS`` or the default,
+    clamped so no shard is empty."""
+    override = os.environ.get(SHARD_ENV_VAR, "").strip()
+    if override:
+        try:
+            requested = int(override)
+        except ValueError:
+            raise ValueError(
+                f"invalid {SHARD_ENV_VAR}={override!r}: expected a positive "
+                f"integer shard-grid extent"
+            ) from None
+        if requested < 1:
+            raise ValueError(
+                f"invalid {SHARD_ENV_VAR}={requested}: the shard-grid extent "
+                f"must be >= 1"
+            )
+    else:
+        requested = DEFAULT_SHARD_EXTENT
+    return max(1, min(requested, width, height))
+
+
+def shard_boxes(
+    width: int, height: int, extent: int
+) -> tuple[tuple[int, int, int, int], ...]:
+    """K×K rectangular shards ``(y0, y1, x0, x1)`` tiling the fabric.
+
+    Rows and columns are split into K nearly-equal bands (the first
+    ``remainder`` bands one wider), so every PE belongs to exactly one
+    shard and uneven fabrics stay balanced.
+    """
+
+    def bands(total: int) -> list[tuple[int, int]]:
+        base, remainder = divmod(total, extent)
+        edges = [0]
+        for band in range(extent):
+            edges.append(edges[-1] + base + (1 if band < remainder else 0))
+        return [(edges[i], edges[i + 1]) for i in range(extent)]
+
+    return tuple(
+        (y0, y1, x0, x1)
+        for y0, y1 in bands(height)
+        for x0, x1 in bands(width)
+    )
+
+
+@dataclass
+class ShardResult:
+    """What one shard worker reports back after running to completion."""
+
+    rounds: int
+    counters: dict[str, int]
+    variables: dict[str, float]
+    halted: bool
+    pe_memory_bytes: int
+
+
+class ShardState(GridState):
+    """One shard's lockstep state over views of the shared full-grid buffers.
+
+    A :class:`~repro.wse.executors.vectorized.GridState` whose ``buffers``
+    are writable sub-rectangle views of the parent's shared-memory arrays,
+    so every DSD compute op the interpreter executes touches exactly this
+    shard's rows and columns of shared memory — and whose allocation hook
+    maps onto those pre-existing views instead of allocating.
+    """
+
+    def __init__(
+        self,
+        full_buffers: dict[str, np.ndarray],
+        box: tuple[int, int, int, int],
+    ):
+        y0, y1, x0, x1 = box
+        super().__init__(width=x1 - x0, height=y1 - y0)
+        self.buffers = {
+            name: array[y0:y1, x0:x1] for name, array in full_buffers.items()
+        }
+
+    def allocate(self, name: str, size: int) -> None:
+        # The parent pre-allocated every buffer in shared memory; an unknown
+        # allocation here would be a plan/image mismatch.
+        if name not in self.buffers:
+            raise InterpretationError(
+                f"shard asked to allocate unknown buffer '{name}'"
+            )
+
+
+class ShardRunner:
+    """Replays the execution plan for one shard of the fabric.
+
+    Exposes the four steps of a delivery round — :meth:`drain`,
+    :attr:`settled`, :meth:`stage`, :meth:`deliver` — so the same runner
+    serves both the barrier-stepped worker processes and the sequential
+    in-process fallback.
+    """
+
+    def __init__(
+        self,
+        image: ProgramImage,
+        plan: ExecutionPlan,
+        full_buffers: dict[str, np.ndarray],
+        box: tuple[int, int, int, int],
+        variables: dict[str, float] | None = None,
+        halted: bool = False,
+    ):
+        self.plan = plan
+        self.full_buffers = full_buffers
+        self.box = box
+        y0, y1, x0, x1 = box
+        self.shard_height = y1 - y0
+        self.shard_width = x1 - x0
+        self.state = ShardState(full_buffers, box)
+        # Scalar state carried over from a previous run of the same
+        # executor (the other backends keep one live interpreter state, so
+        # a relaunch must resume from it to stay interchangeable).
+        if variables:
+            self.state.variables.update(variables)
+        self.state.halted = halted
+        self.interpreter = LockstepInterpreter(image, self.state, plan)
+        self.interpreter.initialise()
+        self._staged: list[np.ndarray] | None = None
+        #: per-direction shard gather spec, resolved from the plan's global
+        #: fold tables once and replayed every round.
+        self._gathers: dict[tuple[int, int], tuple] = {}
+
+    # -- plan restriction ------------------------------------------------ #
+
+    def _shard_gather(self, direction: tuple[int, int]):
+        """The plan's halo table restricted to this shard's rows/columns.
+
+        ``("gather", rows, cols)`` — every source coordinate resolves onto
+        the fabric: one fancy-index gather from the shared full-grid array.
+        ``("fill", fill_value, dest_box, source_box)`` — Dirichlet path:
+        constant fill with an interior shifted-slice rectangle (both boxes
+        in local shard coordinates / global source coordinates).
+        """
+        key = (direction[0], direction[1])
+        spec = self._gathers.get(key)
+        if spec is None:
+            table = self.plan.halo_table(key)
+            y0, y1, x0, x1 = self.box
+            rows = table.rows[y0:y1]
+            cols = table.cols[x0:x1]
+            if None not in rows and None not in cols:
+                spec = (
+                    "gather",
+                    np.asarray(rows, dtype=np.intp)[:, None],
+                    np.asarray(cols, dtype=np.intp)[None, :],
+                )
+            else:
+                dx, dy = key
+                gy0, gy1, gx0, gx1 = table.interior_box()
+                ly0, ly1 = max(y0, gy0), min(y1, gy1)
+                lx0, lx1 = max(x0, gx0), min(x1, gx1)
+                spec = (
+                    "fill",
+                    table.fill_value,
+                    (ly0 - y0, ly1 - y0, lx0 - x0, lx1 - x0),
+                    (ly0 + dy, ly1 + dy, lx0 + dx, lx1 + dx),
+                )
+            self._gathers[key] = spec
+        return spec
+
+    def _shard_chunk(
+        self, source: np.ndarray, direction: tuple[int, int], start: int, stop: int
+    ) -> np.ndarray:
+        """The chunk every PE of this shard pulls along ``direction``.
+
+        Reads from the shared *full-grid* source array: pulls that cross a
+        shard seam land on a neighbouring shard's rows/columns (written
+        before the drain barrier), pulls off the fabric follow the plan's
+        boundary folding.
+        """
+        spec = self._shard_gather(direction)
+        if spec[0] == "gather":
+            _, rows, cols = spec
+            return source[rows, cols, start:stop]
+        _, fill_value, dest_box, source_box = spec
+        out = np.full(
+            (self.shard_height, self.shard_width, stop - start),
+            fill_value,
+            dtype=np.float32,
+        )
+        dy0, dy1, dx0, dx1 = dest_box
+        sy0, sy1, sx0, sx1 = source_box
+        if dy0 < dy1 and dx0 < dx1:
+            out[dy0:dy1, dx0:dx1] = source[sy0:sy1, sx0:sx1, start:stop]
+        return out
+
+    # -- the four round steps -------------------------------------------- #
+
+    def launch(self, entry: str | None = None) -> None:
+        self.interpreter.run_callable(entry if entry is not None else self.plan.entry)
+
+    def drain(self) -> None:
+        self.interpreter.run_pending_tasks()
+
+    @property
+    def settled(self) -> bool:
+        return self.state.halted or self.state.is_idle
+
+    def stage(self) -> int:
+        """Phase 1: snapshot everything this shard will receive.
+
+        The shared :func:`stage_exchange_chunks` over the shard
+        sub-rectangle, gathering from the shared *full-grid* source array.
+        Returns the number of PEs whose exchange was staged — 0 when
+        nothing is pending.
+        """
+        exchange = self.state.pending_exchange
+        if exchange is None:
+            self._staged = None
+            return 0
+        source = self.full_buffers[exchange.source_buffer]
+        self._staged = stage_exchange_chunks(
+            exchange,
+            lambda direction, start, stop: self._shard_chunk(
+                source, direction, start, stop
+            ),
+            self.shard_height,
+            self.shard_width,
+            self.state.counters,
+        )
+        return self.shard_width * self.shard_height
+
+    def deliver(self) -> None:
+        """Phase 2: the shared delivery over this shard's buffer views."""
+        exchange = self.state.pending_exchange
+        if exchange is None or self._staged is None:
+            return
+        self.state.pending_exchange = None
+        deliver_exchange_chunks(
+            self.state, self.interpreter, exchange, self._staged
+        )
+        self._staged = None
+
+    def result(self, rounds: int) -> ShardResult:
+        return ShardResult(
+            rounds=rounds,
+            counters=dict(self.state.counters),
+            variables=dict(self.state.variables),
+            halted=self.state.halted,
+            pe_memory_bytes=self.state.memory_in_use(),
+        )
+
+
+def _settled_consensus(flags) -> bool:
+    """Shared termination decision of one delivery round.
+
+    True when every shard settled this round; raises when the SPMD
+    uniformity contract broke (some settled, some did not).  Both the
+    barrier-stepped workers and the sequential driver decide through this
+    one function, so the divergence diagnostics cannot drift apart.
+    """
+    if all(flags):
+        return True
+    if any(flags):
+        raise InterpretationError(
+            "shards diverged: the SPMD program settled on some shards "
+            "but not others"
+        )
+    return False
+
+
+def _run_shard_loop(
+    runner: ShardRunner,
+    entry: str | None,
+    max_rounds: int,
+    index: int,
+    settled_flags,
+    barrier,
+) -> ShardResult:
+    """The shard lifecycle: launch, then barrier-stepped delivery rounds.
+
+    Each round has two rendezvous points: after every shard has drained
+    its tasks (which also publishes and checks the per-shard settled
+    flags), and after every shard has snapshotted what it will receive.
+    The settled flags turn termination into a consensus: all shards
+    settle in the same round (SPMD uniformity) and break *together* after
+    the same barrier — no shard ever leaves siblings waiting — while a
+    divergence bug is detected and raised within one round instead of
+    timing a barrier out.
+    """
+    runner.launch(entry)
+    rounds = 0
+    for _ in range(max_rounds):
+        runner.drain()
+        settled_flags[index] = 1 if runner.settled else 0
+        barrier.wait(SYNC_TIMEOUT_SECONDS)  # all drained, all flags visible
+        if _settled_consensus(settled_flags[:]):
+            return runner.result(rounds)
+        delivered = runner.stage()
+        if delivered == 0:
+            raise InterpretationError(
+                "deadlock: PEs are neither halted nor waiting on an exchange"
+            )
+        barrier.wait(SYNC_TIMEOUT_SECONDS)  # all staged before any write
+        runner.deliver()
+        rounds += 1
+    raise InterpretationError(f"simulation exceeded {max_rounds} rounds")
+
+
+def _shard_worker(
+    image: ProgramImage,
+    plan: ExecutionPlan,
+    full_buffers: dict[str, np.ndarray],
+    box: tuple[int, int, int, int],
+    index: int,
+    settled_flags,
+    barrier,
+    results,
+    entry: str | None,
+    max_rounds: int,
+    variables: dict[str, float],
+    halted: bool,
+) -> None:
+    """Entry point of one forked shard process."""
+    try:
+        runner = ShardRunner(
+            image, plan, full_buffers, box, variables=variables, halted=halted
+        )
+        result = _run_shard_loop(
+            runner, entry, max_rounds, index, settled_flags, barrier
+        )
+        results.put((index, "ok", result))
+    except BaseException:
+        # Release siblings parked on a barrier, then report the failure.
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+        results.put((index, "error", traceback.format_exc()))
+
+
+@register_executor
+class TiledExecutor(Executor):
+    """Partition the fabric into shards; replay the plan on a process pool."""
+
+    name = "tiled"
+
+    def __init__(
+        self,
+        image: ProgramImage,
+        width: int,
+        height: int,
+        plan: ExecutionPlan | None = None,
+    ):
+        super().__init__(image, width, height, plan)
+        extent = shard_extent(width, height)
+        self.boxes = shard_boxes(width, height, extent)
+        #: anonymous shared-memory backing for every program buffer, so
+        #: forked shard workers and the parent see one coherent grid.
+        self._shared = {
+            name: multiprocessing.RawArray("f", height * width * size)
+            for name, size in self.plan.buffers.items()
+        }
+        self.buffers: dict[str, np.ndarray] = {
+            name: np.frombuffer(raw, dtype=np.float32).reshape(
+                height, width, self.plan.buffers[name]
+            )
+            for name, raw in self._shared.items()
+        }
+        self._entry: str | None = None
+        self._grid_views: list[list[_TiledPeView]] | None = None
+        #: per-PE-uniform activity counters, folded in after each run (the
+        #: per-PE state views read these; lockstep shards all report the
+        #: same values).
+        self._pe_counters: dict[str, int] = new_pe_counters()
+        self._variables: dict[str, float] = dict(self.plan.variables)
+        self._halted = False
+
+    # ------------------------------------------------------------------ #
+    # Host-side data movement
+    # ------------------------------------------------------------------ #
+
+    def _field_array(self, name: str) -> np.ndarray:
+        try:
+            return self.buffers[name]
+        except KeyError:
+            raise missing_field_error(name, self.buffers, (0, 0)) from None
+
+    def load_field(self, name: str, columns: np.ndarray) -> None:
+        array = self._field_array(name)
+        self._check_columns(name, columns, array.shape[-1])
+        array[:] = columns.transpose(1, 0, 2).astype(np.float32)
+
+    def read_field(self, name: str) -> np.ndarray:
+        array = self._field_array(name)
+        return np.ascontiguousarray(array.transpose(1, 0, 2))
+
+    def pe(self, x: int, y: int) -> "_TiledPeView":
+        self._check_pe_coords(x, y)
+        return _TiledPeView(self, x, y)
+
+    @property
+    def grid(self) -> list[list["_TiledPeView"]]:
+        if self._grid_views is None:
+            self._grid_views = [
+                [_TiledPeView(self, x, y) for x in range(self.width)]
+                for y in range(self.height)
+            ]
+        return self._grid_views
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def launch(self, entry: str | None = None) -> None:
+        """Record the entry point; shards launch inside :meth:`run` (the
+        worker processes must execute the entry themselves so their scalar
+        state stays process-local)."""
+        self._entry = entry
+        self._pending_launch = True
+
+    def _run_rounds(self, max_rounds: int) -> SimulationStatistics:
+        entry = self._entry
+        if len(self.boxes) > 1 and "fork" in multiprocessing.get_all_start_methods():
+            results = self._run_forked(entry, max_rounds)
+        else:
+            results = self._run_sequential(entry, max_rounds)
+        self._fold_results(results)
+        return self.statistics
+
+    def _run_sequential(
+        self, entry: str | None, max_rounds: int
+    ) -> list[ShardResult]:
+        """Drive every shard in-process on the two-phase round schedule."""
+        runners = [
+            ShardRunner(
+                self.image,
+                self.plan,
+                self.buffers,
+                box,
+                variables=dict(self._variables),
+                halted=self._halted,
+            )
+            for box in self.boxes
+        ]
+        for runner in runners:
+            runner.launch(entry)
+        rounds = 0
+        for _ in range(max_rounds):
+            for runner in runners:
+                runner.drain()
+            if _settled_consensus([runner.settled for runner in runners]):
+                return [runner.result(rounds) for runner in runners]
+            delivered = sum(runner.stage() for runner in runners)
+            if delivered == 0:
+                raise InterpretationError(
+                    "deadlock: PEs are neither halted nor waiting on an "
+                    "exchange"
+                )
+            for runner in runners:
+                runner.deliver()
+            rounds += 1
+        raise InterpretationError(f"simulation exceeded {max_rounds} rounds")
+
+    def _run_forked(
+        self, entry: str | None, max_rounds: int
+    ) -> list[ShardResult]:
+        """Fork one worker per shard; two barriers per round keep the
+        snapshot/deliver phases exchange-correct across processes."""
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(len(self.boxes))
+        settled_flags = multiprocessing.RawArray("b", len(self.boxes))
+        results_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_shard_worker,
+                args=(
+                    self.image,
+                    self.plan,
+                    self.buffers,
+                    box,
+                    index,
+                    settled_flags,
+                    barrier,
+                    results_queue,
+                    entry,
+                    max_rounds,
+                    dict(self._variables),
+                    self._halted,
+                ),
+                daemon=True,
+            )
+            for index, box in enumerate(self.boxes)
+        ]
+        for worker in workers:
+            worker.start()
+
+        results: dict[int, ShardResult] = {}
+        failure: str | None = None
+        pending = set(range(len(self.boxes)))
+        try:
+            # Workers report once, after their whole run: poll with a short
+            # timeout and keep waiting as long as they are alive, so a long
+            # simulation is never killed by the sync timeout (which bounds
+            # individual barrier waits, not total runtime).  Only a worker
+            # that died without reporting is a failure.
+            grace_polls = 0
+            while pending:
+                try:
+                    index, status, payload = results_queue.get(timeout=1.0)
+                except Exception:
+                    if any(
+                        not workers[index].is_alive() for index in pending
+                    ):
+                        # Allow a few more polls: an exiting worker's queue
+                        # feeder may still be flushing its final message.
+                        grace_polls += 1
+                        if grace_polls >= 5:
+                            failure = (
+                                "shard worker died without reporting a result"
+                            )
+                            break
+                    continue
+                grace_polls = 0
+                if status == "error":
+                    failure = payload
+                    break
+                results[index] = payload
+                pending.discard(index)
+        finally:
+            for worker in workers:
+                if failure is not None and worker.is_alive():
+                    worker.terminate()
+                worker.join(timeout=30)
+        if failure is not None:
+            raise InterpretationError(f"tiled shard worker failed:\n{failure}")
+        return [results[index] for index in range(len(self.boxes))]
+
+    def _fold_results(self, results: list[ShardResult]) -> None:
+        """Merge per-shard results into the executor-level surface."""
+        rounds = {result.rounds for result in results}
+        if len(rounds) != 1:
+            raise InterpretationError(
+                f"shards diverged: delivery-round counts {sorted(rounds)} "
+                f"are not uniform across the SPMD fabric"
+            )
+        first = results[0]
+        # Per-PE counters accumulate across runs (the other backends keep
+        # one live state whose counters only ever grow); statistics fold
+        # the *cumulative* counters per run, exactly as the vectorized
+        # backend's collection pass reads its live counter dict.
+        for name, value in first.counters.items():
+            self._pe_counters[name] += value
+        shard_statistics = [
+            SimulationStatistics(
+                max_pe_memory_bytes=result.pe_memory_bytes,
+                **{
+                    name: self._pe_counters[name] * pes
+                    for name in PE_COUNTER_NAMES
+                },
+            )
+            for result, pes in zip(results, self._shard_pe_counts())
+        ]
+        self.statistics = SimulationStatistics.merge(
+            [self.statistics, SimulationStatistics(rounds=rounds.pop())]
+            + shard_statistics
+        )
+        self._variables = dict(first.variables)
+        self._halted = first.halted
+
+    def _shard_pe_counts(self) -> list[int]:
+        return [(y1 - y0) * (x1 - x0) for y0, y1, x0, x1 in self.boxes]
+
+    # -- unused base hooks (this backend drives rounds in its shards) ---- #
+
+    def _drain_tasks(self) -> None:  # pragma: no cover
+        raise AssertionError("tiled drives delivery rounds inside its shards")
+
+    def _all_settled(self) -> bool:  # pragma: no cover
+        raise AssertionError("tiled drives delivery rounds inside its shards")
+
+    def _deliver_round(self) -> int:  # pragma: no cover
+        raise AssertionError("tiled drives delivery rounds inside its shards")
+
+    def _collect_statistics(self) -> None:  # pragma: no cover
+        raise AssertionError("tiled folds statistics per shard result")
+
+
+class _TiledPeView:
+    """One PE's slice of the shared grid, mirroring the vectorized view."""
+
+    def __init__(self, executor: TiledExecutor, x: int, y: int):
+        self._executor = executor
+        self.x = x
+        self.y = y
+
+    @property
+    def buffers(self) -> dict[str, np.ndarray]:
+        return {
+            name: array[self.y, self.x]
+            for name, array in self._executor.buffers.items()
+        }
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return self._executor._pe_counters
+
+    @property
+    def variables(self) -> dict[str, float]:
+        return self._executor._variables
+
+    @property
+    def halted(self) -> bool:
+        return self._executor._halted
+
+    def memory_in_use(self) -> int:
+        return self._executor.plan.memory_per_pe_bytes()

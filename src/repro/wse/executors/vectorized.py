@@ -17,8 +17,9 @@ backend exploits that structure:
   the source array shifted by ``(-dy, -dx)``.  The fabric border dispatches
   on the program's :class:`~repro.frontends.common.BoundaryCondition` —
   constant fill (``dirichlet``), wrapped rows/columns (``periodic``) or
-  edge-mirrored rows/columns (``reflect``) — via exactly the same index
-  folding the per-PE reference runtime uses.
+  edge-mirrored rows/columns (``reflect``) — through the per-direction
+  fold/gather tables the :class:`~repro.wse.plan.ExecutionPlan` compiled
+  ahead of execution (the same tables the per-PE reference runtime reads).
 
 The arithmetic performed per element is identical to the reference backend
 (same NumPy ufuncs, same order), so results are bit-identical — the golden
@@ -30,6 +31,7 @@ where a scalar is required and fail loudly rather than mis-execute.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,7 +42,10 @@ from repro.wse.executors.base import (
     register_executor,
 )
 from repro.wse.interpreter import PeInterpreter, ProgramImage
-from repro.wse.pe import ActivatedTask, PendingExchange
+from repro.wse.pe import ActivatedTask, PendingExchange, new_pe_counters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wse.plan import ExecutionPlan
 
 
 class GridState:
@@ -67,13 +72,7 @@ class GridState:
         #: set once the program returns control to the host.
         self.halted = False
         #: per-PE activity counters (each PE performs identical work).
-        self.counters: dict[str, int] = {
-            "tasks_run": 0,
-            "exchanges": 0,
-            "dsd_ops": 0,
-            "dsd_elements": 0,
-            "wavelets_sent": 0,
-        }
+        self.counters: dict[str, int] = new_pe_counters()
 
     def allocate(self, name: str, size: int) -> None:
         if name not in self.buffers:
@@ -102,25 +101,93 @@ class LockstepInterpreter(PeInterpreter):
         return dsd.resolve_columns(self.pe.buffers)
 
 
+# --------------------------------------------------------------------------- #
+# The two-phase exchange over batched (rows, cols, z) buffers
+#
+# One authoritative implementation shared by every lockstep-shaped backend:
+# the vectorized executor runs it over the whole grid, the tiled executor's
+# shard runners over their sub-rectangles (with a barrier between the
+# phases).  Bit-identical per-element behaviour across backends depends on
+# these two functions being the single source of the exchange semantics.
+# --------------------------------------------------------------------------- #
+
+
+def stage_exchange_chunks(
+    exchange: PendingExchange,
+    chunk_of,
+    rows: int,
+    cols: int,
+    counters: dict[str, int],
+) -> list[np.ndarray]:
+    """Phase 1: snapshot everything the region will receive.
+
+    ``chunk_of(direction, start, stop)`` gathers the ``(rows, cols,
+    stop-start)`` chunk pulled along one direction; all gathers complete
+    before any callback may mutate a buffer (all sends precede the local
+    update).  Wavelet accounting happens here, per chunk, exactly as the
+    per-PE reference runtime counts it.
+    """
+    staged: list[np.ndarray] = []
+    for chunk_index in range(exchange.num_chunks):
+        start = exchange.source_offset + chunk_index * exchange.chunk_size
+        stop = start + exchange.chunk_size
+        parts = []
+        for slot, direction in enumerate(exchange.directions):
+            data = chunk_of(direction, start, stop)
+            if exchange.coefficients is not None:
+                data = data * np.float32(exchange.coefficients[slot])
+            parts.append(data)
+        staged.append(
+            np.concatenate(parts, axis=2)
+            if parts
+            else np.zeros((rows, cols, 0), dtype=np.float32)
+        )
+        counters["wavelets_sent"] += exchange.chunk_size * len(
+            exchange.directions
+        )
+    return staged
+
+
+def deliver_exchange_chunks(
+    state,
+    interpreter: PeInterpreter,
+    exchange: PendingExchange,
+    staged: list[np.ndarray],
+) -> None:
+    """Phase 2: write each chunk into the receive buffer, run the receive
+    callback per chunk, then queue the completion callback."""
+    receive_buffer = state.buffers[exchange.receive_buffer]
+    for chunk_index, chunk_data in enumerate(staged):
+        receive_buffer[:, :, : chunk_data.shape[-1]] = chunk_data
+        if exchange.receive_callback:
+            interpreter.run_callable(
+                exchange.receive_callback,
+                argument=chunk_index * exchange.chunk_size,
+            )
+    if exchange.done_callback:
+        state.activate(ActivatedTask(exchange.done_callback))
+
+
 @register_executor
 class VectorizedExecutor(Executor):
     """Interpret the program image once; execute ops as whole-grid math."""
 
     name = "vectorized"
 
-    def __init__(self, image: ProgramImage, width: int, height: int):
-        super().__init__(image, width, height)
+    def __init__(
+        self,
+        image: ProgramImage,
+        width: int,
+        height: int,
+        plan: "ExecutionPlan | None" = None,
+    ):
+        super().__init__(image, width, height, plan)
         self.state = GridState(width, height)
-        self.interpreter = LockstepInterpreter(image, self.state)
+        self.interpreter = LockstepInterpreter(image, self.state, self.plan)
         self.interpreter.initialise()
         self._grid_views: list[list[_PeView]] | None = None
-        #: the compiled-in boundary condition (read once; the property on
-        #: the image rebuilds it from module attributes on every access).
-        self.boundary = image.boundary
-        #: per-direction folded gather indices (None = dirichlet fill path).
-        self._fold_cache: dict[
-            tuple[int, int], tuple[np.ndarray, np.ndarray] | None
-        ] = {}
+        #: the boundary condition the plan was compiled against.
+        self.boundary = self.plan.boundary
 
     # ------------------------------------------------------------------ #
     # Host-side data movement
@@ -162,6 +229,7 @@ class VectorizedExecutor(Executor):
     def launch(self, entry: str | None = None) -> None:
         entry_name = entry if entry is not None else self.image.entry
         self.interpreter.run_callable(entry_name)
+        self._pending_launch = True
 
     def _drain_tasks(self) -> None:
         self.interpreter.run_pending_tasks()
@@ -173,55 +241,30 @@ class VectorizedExecutor(Executor):
     # The chunked halo exchange as shifted-slice copies
     # ------------------------------------------------------------------ #
 
-    def _source_indices(
-        self, direction: tuple[int, int]
-    ) -> tuple[np.ndarray, np.ndarray] | None:
-        """Folded source rows/columns for a pull from ``(x+dx, y+dy)``.
-
-        Returns ``None`` under a Dirichlet boundary with at least one
-        off-fabric coordinate unresolvable (the caller constant-fills
-        instead); otherwise per-axis index vectors ready for one fancy-index
-        gather.  Memoised per direction: the folding is identical for every
-        chunk of every exchange.
-        """
-        key = (direction[0], direction[1])
-        if key not in self._fold_cache:
-            boundary = self.boundary
-            dx, dy = direction
-            rows = [boundary.fold(y + dy, self.height) for y in range(self.height)]
-            cols = [boundary.fold(x + dx, self.width) for x in range(self.width)]
-            if any(index is None for index in rows + cols):
-                self._fold_cache[key] = None
-            else:
-                self._fold_cache[key] = (
-                    np.asarray(rows, dtype=np.intp)[:, None],
-                    np.asarray(cols, dtype=np.intp)[None, :],
-                )
-        return self._fold_cache[key]
-
     def _shifted_chunk(
         self, source: np.ndarray, direction: tuple[int, int], start: int, stop: int
     ) -> np.ndarray:
         """The chunk every PE pulls from its ``(x+dx, y+dy)`` neighbour.
 
-        Off-fabric pulls follow the program's boundary condition: under
+        The boundary folding was resolved at plan time: under
         ``periodic``/``reflect`` every coordinate folds onto the fabric and
-        the whole grid is one gather; under ``dirichlet`` the in-fabric
-        region is a shifted-slice copy over a constant-fill background.
+        the whole grid is one fancy-index gather over the plan's index
+        tables; under ``dirichlet`` the in-fabric rectangle the plan
+        precomputed is a shifted-slice copy over a constant-fill background.
         """
-        indices = self._source_indices(direction)
+        indices = self.plan.gather_indices(direction)
         if indices is not None:
             rows, cols = indices
             # Fancy indexing gathers a fresh (height, width, chunk) copy.
             return source[rows, cols, start:stop]
-        boundary = self.boundary
+        table = self.plan.halo_table(direction)
         dx, dy = direction
-        height, width = self.height, self.width
         out = np.full(
-            (height, width, stop - start), boundary.value, dtype=np.float32
+            (self.height, self.width, stop - start),
+            table.fill_value,
+            dtype=np.float32,
         )
-        y0, y1 = max(0, -dy), min(height, height - dy)
-        x0, x1 = max(0, -dx), min(width, width - dx)
+        y0, y1, x0, x1 = table.interior_box()
         if y0 < y1 and x0 < x1:
             out[y0:y1, x0:x1] = source[y0 + dy : y1 + dy, x0 + dx : x1 + dx, start:stop]
         return out
@@ -232,40 +275,16 @@ class VectorizedExecutor(Executor):
             return 0
         self.state.pending_exchange = None
         source = self.state.buffers[exchange.source_buffer]
-
-        # Phase 1: snapshot everything that will be received, before any
-        # callback mutates a buffer (all sends precede the local update).
-        staged: list[np.ndarray] = []
-        for chunk_index in range(exchange.num_chunks):
-            start = exchange.source_offset + chunk_index * exchange.chunk_size
-            stop = start + exchange.chunk_size
-            parts = []
-            for slot, direction in enumerate(exchange.directions):
-                data = self._shifted_chunk(source, direction, start, stop)
-                if exchange.coefficients is not None:
-                    data = data * np.float32(exchange.coefficients[slot])
-                parts.append(data)
-            staged.append(
-                np.concatenate(parts, axis=2)
-                if parts
-                else np.zeros((self.height, self.width, 0), dtype=np.float32)
-            )
-            self.state.counters["wavelets_sent"] += exchange.chunk_size * len(
-                exchange.directions
-            )
-
-        # Phase 2: write each chunk into the receive buffer and run the
-        # receive callback per chunk, then queue the completion callback.
-        receive_buffer = self.state.buffers[exchange.receive_buffer]
-        for chunk_index, chunk_data in enumerate(staged):
-            receive_buffer[:, :, : chunk_data.shape[-1]] = chunk_data
-            if exchange.receive_callback:
-                self.interpreter.run_callable(
-                    exchange.receive_callback,
-                    argument=chunk_index * exchange.chunk_size,
-                )
-        if exchange.done_callback:
-            self.state.activate(ActivatedTask(exchange.done_callback))
+        staged = stage_exchange_chunks(
+            exchange,
+            lambda direction, start, stop: self._shifted_chunk(
+                source, direction, start, stop
+            ),
+            self.height,
+            self.width,
+            self.state.counters,
+        )
+        deliver_exchange_chunks(self.state, self.interpreter, exchange, staged)
         return self.width * self.height
 
     # ------------------------------------------------------------------ #

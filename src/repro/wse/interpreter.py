@@ -8,7 +8,7 @@ the interpreter honest as a functional model of the generated CSL.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.ir.operation import Block, Operation
 from repro.ir.value import SSAValue
 from repro.wse.dsd import Dsd
 from repro.wse.pe import ActivatedTask, PendingExchange, ProcessingElement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wse.plan import ExecutionPlan
 
 
 class ProgramImage:
@@ -83,19 +86,36 @@ class ProgramImage:
 
 
 class PeInterpreter:
-    """Executes csl-ir callables against one PE's state."""
+    """Executes csl-ir callables against one PE's state.
 
-    def __init__(self, image: ProgramImage, pe: ProcessingElement):
+    ``plan`` is the pre-compiled :class:`~repro.wse.plan.ExecutionPlan` of
+    the image: when present, DSD-producing ops and exchange schedules are
+    served from its plan-time tables instead of being re-derived per
+    interpretation.  Without a plan the interpreter falls back to deriving
+    everything from the op attributes (hand-built test images use this).
+    """
+
+    def __init__(
+        self,
+        image: ProgramImage,
+        pe: ProcessingElement,
+        plan: "ExecutionPlan | None" = None,
+    ):
         self.image = image
         self.pe = pe
+        self.plan = plan
 
     # ------------------------------------------------------------------ #
 
     def initialise(self) -> None:
         """Allocate module buffers and variables on the PE."""
-        for name, size in self.image.buffers.items():
+        buffers = self.plan.buffers if self.plan is not None else self.image.buffers
+        variables = (
+            self.plan.variables if self.plan is not None else self.image.variables
+        )
+        for name, size in buffers.items():
             self.pe.allocate(name, size)
-        for name, init in self.image.variables.items():
+        for name, init in variables.items():
             self.pe.variables.setdefault(name, init)
 
     def run_callable(self, name: str, argument: Any = None) -> None:
@@ -208,6 +228,11 @@ def _handle_activate(interp: PeInterpreter, op: csl.ActivateOp, env) -> None:
 
 
 def _handle_get_mem_dsd(interp: PeInterpreter, op: csl.GetMemDsdOp, env) -> None:
+    if interp.plan is not None:
+        planned = interp.plan.static_dsd(op)
+        if planned is not None:
+            env[id(op.result)] = planned
+            return
     buffer_attr = op.attributes.get("buffer")
     if isinstance(buffer_attr, StringAttr):
         buffer_name = buffer_attr.data
@@ -224,6 +249,11 @@ def _handle_get_mem_dsd(interp: PeInterpreter, op: csl.GetMemDsdOp, env) -> None
 def _handle_increment_dsd(
     interp: PeInterpreter, op: csl.IncrementDsdOffsetOp, env
 ) -> None:
+    if interp.plan is not None:
+        planned = interp.plan.static_dsd(op)
+        if planned is not None:
+            env[id(op.result)] = planned
+            return
     base = interp._value(op.operands[0], env)
     if not isinstance(base, Dsd):
         raise InterpretationError("csl.increment_dsd_offset operand is not a DSD")
@@ -257,6 +287,27 @@ def _handle_comms_exchange(
     buffer_value = interp._value(op.buffer, env)
     if not isinstance(buffer_value, Dsd):
         raise InterpretationError("csl.comms_exchange buffer operand is not a DSD")
+
+    planned = interp.plan.exchange_plan(op) if interp.plan is not None else None
+    if planned is not None:
+        interp.pe.counters["exchanges"] += 1
+        # The source buffer comes from the runtime DSD operand: the plan's
+        # statically-propagated name matches it on every generated program,
+        # but a dynamic operand chain stays authoritative.
+        interp.pe.pending_exchange = PendingExchange(
+            source_buffer=buffer_value.buffer,
+            source_offset=planned.source_offset,
+            source_length=planned.source_length,
+            chunk_size=planned.chunk_size,
+            num_chunks=planned.num_chunks,
+            directions=planned.directions,
+            coefficients=planned.coefficients,
+            receive_buffer=planned.receive_buffer,
+            receive_callback=planned.receive_callback,
+            done_callback=planned.done_callback,
+        )
+        return
+
     attributes = op.attributes
     src_offset = attributes["src_offset"].value  # type: ignore[union-attr]
     src_len = attributes["src_len"].value  # type: ignore[union-attr]

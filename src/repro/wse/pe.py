@@ -9,6 +9,23 @@ from typing import Any
 import numpy as np
 
 
+#: the per-PE activity counters every execution backend maintains; shared
+#: so the lockstep/sharded state mirrors and the statistics folding can
+#: never drift out of sync with the reference per-PE state.
+PE_COUNTER_NAMES = (
+    "tasks_run",
+    "exchanges",
+    "dsd_ops",
+    "dsd_elements",
+    "wavelets_sent",
+)
+
+
+def new_pe_counters() -> dict[str, int]:
+    """A fresh zeroed per-PE activity-counter dict."""
+    return {name: 0 for name in PE_COUNTER_NAMES}
+
+
 @dataclass
 class PendingExchange:
     """A scheduled (not yet delivered) chunked halo exchange."""
@@ -50,13 +67,7 @@ class ProcessingElement:
         #: set once the program returns control to the host.
         self.halted = False
         #: simple activity counters used by tests and the performance model.
-        self.counters: dict[str, int] = {
-            "tasks_run": 0,
-            "exchanges": 0,
-            "dsd_ops": 0,
-            "dsd_elements": 0,
-            "wavelets_sent": 0,
-        }
+        self.counters: dict[str, int] = new_pe_counters()
 
     def allocate(self, name: str, size: int) -> None:
         if name not in self.buffers:

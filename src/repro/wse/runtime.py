@@ -29,24 +29,31 @@ import numpy as np
 
 from repro.frontends.common import BoundaryCondition
 from repro.wse.pe import ActivatedTask, PendingExchange, ProcessingElement
+from repro.wse.plan import HaloTable, build_halo_table
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.wse.interpreter import PeInterpreter
+    from repro.wse.plan import ExecutionPlan
 
 
 class CommsRuntime:
     """Delivers pending exchanges across the PE grid.
 
     ``boundary`` selects what off-fabric directions contribute; it defaults
-    to the historical Dirichlet-zero halo.  The grid must be rectangular —
-    a ragged row list would silently truncate or over-index delivery, so it
-    is rejected up front.
+    to the historical Dirichlet-zero halo.  ``plan`` optionally supplies the
+    pre-compiled per-direction fold tables of an
+    :class:`~repro.wse.plan.ExecutionPlan`; without one the runtime builds
+    (and memoises) equivalent tables itself, so directly-constructed
+    runtimes keep working.  The grid must be rectangular — a ragged row
+    list would silently truncate or over-index delivery, so it is rejected
+    up front.
     """
 
     def __init__(
         self,
         grid: list[list[ProcessingElement]],
         boundary: BoundaryCondition | None = None,
+        plan: "ExecutionPlan | None" = None,
     ):
         self.grid = grid
         self.height = len(grid)
@@ -54,6 +61,8 @@ class CommsRuntime:
         self.boundary = (
             boundary if boundary is not None else BoundaryCondition.dirichlet()
         )
+        self.plan = plan
+        self._local_tables: dict[tuple[int, int], "HaloTable"] = {}
         for y, row in enumerate(grid):
             if len(row) != self.width:
                 raise ValueError(
@@ -63,6 +72,16 @@ class CommsRuntime:
                 )
 
     # ------------------------------------------------------------------ #
+
+    def _halo_table(self, direction: tuple[int, int]) -> "HaloTable":
+        if self.plan is not None:
+            return self.plan.halo_table(direction)
+        key = (direction[0], direction[1])
+        table = self._local_tables.get(key)
+        if table is None:
+            table = build_halo_table(self.boundary, key, self.width, self.height)
+            self._local_tables[key] = table
+        return table
 
     def _neighbor_chunk(
         self,
@@ -74,22 +93,22 @@ class CommsRuntime:
         """The chunk of the neighbour's column sent towards ``pe``.
 
         An access at offset ``(+1, 0)`` reads the value of the eastern
-        neighbour, so the data is pulled from PE ``(x+1, y)``.  When that
-        coordinate falls off the fabric the boundary condition dispatches:
-        ``periodic``/``reflect`` fold it back onto a real PE and its chunk
-        is delivered instead, while ``dirichlet`` synthesises a
-        constant-fill chunk.
+        neighbour, so the data is pulled from PE ``(x+1, y)``.  The
+        boundary folding was resolved ahead of time into the per-direction
+        halo tables: ``periodic``/``reflect`` entries name the wrapped or
+        mirrored PE whose chunk is delivered instead, while ``dirichlet``
+        off-fabric entries synthesise a constant-fill chunk.
         """
         start = exchange.source_offset + chunk_index * exchange.chunk_size
         stop = start + exchange.chunk_size
-        nx = self.boundary.fold(pe.x + direction[0], self.width)
-        ny = self.boundary.fold(pe.y + direction[1], self.height)
+        table = self._halo_table(direction)
+        nx, ny = table.cols[pe.x], table.rows[pe.y]
         if nx is not None and ny is not None:
             neighbor = self.grid[ny][nx]
             source = neighbor.buffers[exchange.source_buffer]
             return source[start:stop].copy()
         return np.full(
-            exchange.chunk_size, self.boundary.value, dtype=np.float32
+            exchange.chunk_size, table.fill_value, dtype=np.float32
         )
 
     # ------------------------------------------------------------------ #

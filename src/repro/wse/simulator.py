@@ -28,6 +28,7 @@ from repro.wse.executors import (
     executor_by_name,
 )
 from repro.wse.interpreter import ProgramImage
+from repro.wse.plan import ExecutionPlan
 
 __all__ = ["SimulationStatistics", "WseSimulator"]
 
@@ -57,7 +58,12 @@ class WseSimulator:
             executor if executor is not None else default_executor_name()
         )
         executor_cls = executor_by_name(self.executor_name)
-        self._executor = executor_cls(self.image, self.width, self.height)
+        # Lower the image into the backend-neutral execution plan exactly
+        # once; every backend replays the same plan.
+        self.plan = ExecutionPlan.compile(self.image, self.width, self.height)
+        self._executor = executor_cls(
+            self.image, self.width, self.height, self.plan
+        )
 
     def _validated_extent(
         self,

@@ -1,0 +1,223 @@
+"""End-to-end run jobs: fingerprints, caching, cross-backend digests, CLI.
+
+The run service fronts both stages — compilation (through the compile-stage
+fingerprint cache) and simulation (through the run-artifact cache) — so the
+tests pin the fingerprint's sensitivity to every run-level input, the
+cold/warm behaviour of both tiers, and the strongest end-to-end property
+the executors offer: every backend produces the *same* field digests for
+the same run fingerprint inputs.
+"""
+
+import io
+
+import pytest
+
+from repro.benchmarks import benchmark_by_name
+from repro.service.cli import main as cli_main
+from repro.service.fingerprint import compute_fingerprint
+from repro.service.run import (
+    DEFAULT_MAX_ROUNDS,
+    DEFAULT_RUN_SEED,
+    RunArtifact,
+    RunService,
+    compute_run_fingerprint,
+    run_fingerprint_payload,
+)
+from repro.transforms.pipeline import PipelineOptions
+from repro.wse.plan import PLAN_VERSION
+
+
+def _config(grid=3, nz=8, steps=1):
+    benchmark = benchmark_by_name("Jacobian")
+    program = benchmark.program(nx=grid, ny=grid, nz=nz, time_steps=steps)
+    options = PipelineOptions(grid_width=grid, grid_height=grid, num_chunks=2)
+    return program, options
+
+
+class TestRunFingerprints:
+    def test_payload_extends_the_compile_payload(self):
+        program, options = _config()
+        payload = run_fingerprint_payload(
+            program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
+        )
+        assert payload["run"] == {
+            "schema": 1,
+            "executor": "vectorized",
+            "seed": 13,
+            "max_rounds": DEFAULT_MAX_ROUNDS,
+            "plan_version": PLAN_VERSION,
+        }
+        assert "program" in payload and "options" in payload
+
+    def test_every_run_input_is_fingerprint_sensitive(self):
+        program, options = _config()
+        base = compute_run_fingerprint(
+            program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
+        )
+        assert base != compute_run_fingerprint(
+            program, options, "tiled", 13, DEFAULT_MAX_ROUNDS
+        ), "executor must change the run fingerprint"
+        assert base != compute_run_fingerprint(
+            program, options, "vectorized", 14, DEFAULT_MAX_ROUNDS
+        ), "seed must change the run fingerprint"
+        assert base != compute_run_fingerprint(
+            program, options, "vectorized", 13, 10
+        ), "round budget must change the run fingerprint"
+
+    def test_compile_inputs_stay_fingerprint_sensitive(self):
+        program, options = _config()
+        other_program, _ = _config(steps=2)
+        base = compute_run_fingerprint(
+            program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
+        )
+        assert base != compute_run_fingerprint(
+            other_program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
+        )
+
+    def test_run_fingerprint_differs_from_compile_fingerprint(self):
+        program, options = _config()
+        assert compute_run_fingerprint(
+            program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
+        ) != compute_fingerprint(program, options)
+
+
+class TestRunService:
+    def test_cold_run_simulates_then_warm_run_hits_the_cache(self):
+        program, options = _config()
+        with RunService() as service:
+            cold = service.run(program, options, executor="vectorized")
+            assert service.statistics.simulations == 1
+            assert service.statistics.cache_hits == 0
+            warm = service.run(program, options, executor="vectorized")
+            assert service.statistics.simulations == 1  # never re-simulated
+            assert service.statistics.cache_hits == 1
+        assert warm == cold
+        assert cold.rounds > 0
+        assert cold.field_digests  # one digest per program field
+        assert set(cold.field_digests) == {
+            decl.name for decl in program.fields
+        }
+        assert cold.statistics["rounds"] == cold.rounds
+
+    def test_warm_disk_store_survives_a_service_restart(self):
+        program, options = _config()
+        with RunService() as first:
+            cold = first.run(program, options, executor="vectorized")
+        with RunService() as second:
+            warm = second.run(program, options, executor="vectorized")
+            assert second.statistics.simulations == 0
+            assert second.statistics.cache_hits == 1
+        assert warm == cold
+
+    def test_all_backends_agree_on_field_digests(self):
+        """The end-to-end cross-check: three executors, one answer."""
+        program, options = _config(grid=4)
+        digests = {}
+        with RunService() as service:
+            for executor in ("reference", "vectorized", "tiled"):
+                artifact = service.run(program, options, executor=executor)
+                digests[executor] = artifact.field_digests
+            # Three distinct fingerprints (executor is a run input) ...
+            assert service.statistics.simulations == 3
+        # ... but identical simulated bytes.
+        assert digests["reference"] == digests["vectorized"] == digests["tiled"]
+
+    def test_compile_stage_is_shared_across_run_inputs(self):
+        """Runs differing only in run-level inputs compile exactly once."""
+        program, options = _config()
+        with RunService() as service:
+            service.run(program, options, executor="vectorized", seed=1)
+            service.run(program, options, executor="vectorized", seed=2)
+            assert service.statistics.simulations == 2
+            compiler = service.compiler.statistics
+            assert compiler.ir_compiles == 1
+            assert compiler.ir_hits == 1
+
+    def test_unknown_executor_raises_before_any_work(self):
+        program, options = _config()
+        with RunService() as service:
+            with pytest.raises(KeyError, match="unknown executor 'warp'"):
+                service.submit(program, options, executor="warp")
+            assert service.statistics.submitted == 0
+
+    def test_batch_returns_futures_in_order(self):
+        jacobian = _config()
+        uvkbe_program = benchmark_by_name("UVKBE").program(
+            nx=3, ny=3, nz=8, time_steps=1
+        )
+        uvkbe = (uvkbe_program, PipelineOptions(grid_width=3, grid_height=3))
+        with RunService() as service:
+            futures = service.submit_batch([jacobian, uvkbe])
+            artifacts = [future.result() for future in futures]
+        assert [a.program_name for a in artifacts] == ["jacobian", "uvkbe"]
+
+    def test_artifact_json_round_trip(self):
+        program, options = _config()
+        with RunService() as service:
+            artifact = service.run(program, options)
+        assert RunArtifact.from_json(artifact.to_json()) == artifact
+
+    def test_stale_schema_on_disk_is_a_miss(self):
+        program, options = _config()
+        with RunService() as service:
+            artifact = service.run(program, options)
+            path = service.store._path(artifact.fingerprint)
+            path.write_text(
+                artifact.to_json().replace(
+                    '"schema_version": 1', '"schema_version": 0'
+                ),
+                encoding="utf-8",
+            )
+        with RunService() as fresh:
+            fresh.run(program, options)
+            assert fresh.statistics.simulations == 1  # recomputed, not served
+
+
+class TestRunCli:
+    def test_run_subcommand_cold_then_warm(self):
+        out = io.StringIO()
+        code = cli_main(
+            [
+                "run",
+                "Jacobian",
+                "--grid",
+                "3x3",
+                "--nz",
+                "8",
+                "--time-steps",
+                "1",
+                "--repeat",
+                "2",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "round 1/2" in text and "(0 served from run cache)" in text
+        assert "round 2/2" in text and "(1 served from run cache)" in text
+        assert "run service statistics:" in text
+
+    def test_run_subcommand_rejects_unknown_executor(self, capsys):
+        code = cli_main(
+            ["run", "Jacobian", "--executor", "warp"], out=io.StringIO()
+        )
+        assert code == 2
+        assert "unknown executor 'warp'" in capsys.readouterr().err
+
+    def test_run_subcommand_rejects_unknown_benchmark(self, capsys):
+        code = cli_main(["run", "NotABench"], out=io.StringIO())
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_stats_and_purge_cover_the_run_store(self):
+        out = io.StringIO()
+        cli_main(
+            ["run", "Jacobian", "--grid", "3x3", "--nz", "8", "--time-steps", "1"],
+            out=out,
+        )
+        out = io.StringIO()
+        assert cli_main(["stats"], out=out) == 0
+        assert "run store:" in out.getvalue()
+        out = io.StringIO()
+        assert cli_main(["purge"], out=out) == 0
+        assert "purged 1 run artifacts" in out.getvalue()

@@ -25,7 +25,7 @@ from repro.tests_support import run_on_executor, simulate_against_reference
 from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
 from repro.wse.simulator import WseSimulator
 
-EXECUTORS = ("reference", "vectorized")
+EXECUTORS = ("reference", "vectorized", "tiled")
 
 BOUNDARIES = (
     BoundaryCondition.dirichlet(),
@@ -62,15 +62,17 @@ class TestGoldenEquivalencePerBoundaryMode:
         reference_fields, reference_stats = run_on_executor(
             "reference", program, result.program_module
         )
-        vectorized_fields, vectorized_stats = run_on_executor(
-            "vectorized", program, result.program_module
-        )
-        for name, expected in reference_fields.items():
-            actual = vectorized_fields[name]
-            assert actual.tobytes() == expected.tobytes(), (
-                f"field '{name}' differs between executors under {boundary.spec}"
+        for executor in EXECUTORS[1:]:
+            fields, stats = run_on_executor(
+                executor, program, result.program_module
             )
-        assert vectorized_stats == reference_stats
+            for name, expected in reference_fields.items():
+                actual = fields[name]
+                assert actual.tobytes() == expected.tobytes(), (
+                    f"field '{name}' differs between reference and "
+                    f"{executor} under {boundary.spec}"
+                )
+            assert stats == reference_stats
 
     @pytest.mark.parametrize("executor", EXECUTORS)
     @pytest.mark.parametrize("boundary", BOUNDARIES, ids=lambda b: b.spec)

@@ -26,7 +26,7 @@ from repro.tests_support import simulate_against_reference
 from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
 from repro.wse.simulator import WseSimulator
 
-EXECUTORS = ("reference", "vectorized")
+EXECUTORS = ("reference", "vectorized", "tiled")
 
 
 def _star_program(nx, ny, nz, steps=1, name="edge"):
@@ -71,7 +71,11 @@ class TestSinglePeGrid:
             )[0]["v"]
             for executor in EXECUTORS
         }
-        assert outputs["reference"].tobytes() == outputs["vectorized"].tobytes()
+        reference_bytes = outputs["reference"].tobytes()
+        for executor in EXECUTORS[1:]:
+            assert outputs[executor].tobytes() == reference_bytes, (
+                f"executor '{executor}' diverged from the reference"
+            )
 
 
 class TestBorderPes:
@@ -163,7 +167,11 @@ class TestUnevenChunkRequests:
             )[0]["v"]
             for executor in EXECUTORS
         }
-        assert outputs["reference"].tobytes() == outputs["vectorized"].tobytes()
+        reference_bytes = outputs["reference"].tobytes()
+        for executor in EXECUTORS[1:]:
+            assert outputs[executor].tobytes() == reference_bytes, (
+                f"executor '{executor}' diverged from the reference"
+            )
 
 
 class TestRaggedGridValidation:

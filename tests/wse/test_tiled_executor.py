@@ -1,0 +1,226 @@
+"""The tiled sharded executor: decomposition, equivalence, fallbacks.
+
+The heavyweight cross-backend guarantees (byte-identical fields and equal
+statistics on the golden benchmarks and under every boundary mode) live in
+``test_executor_equivalence.py`` / ``test_boundary_conditions.py``, whose
+executor matrices include ``tiled``; this file covers the backend's own
+mechanics: the shard-box geometry, the ``REPRO_TILED_SHARDS`` override, the
+sequential in-process fallback, and the per-PE host surface.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.frontends.common import (
+    Constant,
+    FieldAccess,
+    FieldDecl,
+    StencilEquation,
+    StencilProgram,
+)
+from repro.tests_support import run_on_executor
+from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.wse.executors.tiled import (
+    SHARD_ENV_VAR,
+    shard_boxes,
+    shard_extent,
+)
+from repro.wse.simulator import WseSimulator
+
+
+def _star_program(nx, ny, nz, steps=2, name="tiled_probe"):
+    u = lambda dx, dy, dz: FieldAccess("u", (dx, dy, dz))
+    expression = (
+        u(0, 0, 0)
+        + u(1, 0, 0)
+        + u(-1, 0, 0)
+        + u(0, 1, 0)
+        + u(0, -1, 0)
+        + u(0, 0, 1)
+    ) * Constant(0.25)
+    return StencilProgram(
+        name=name,
+        fields=[FieldDecl("u", (nx, ny, nz)), FieldDecl("v", (nx, ny, nz))],
+        equations=[StencilEquation("v", expression)],
+        time_steps=steps,
+    )
+
+
+def _compiled(nx, ny, nz=8, steps=2, name="tiled_probe"):
+    program = _star_program(nx, ny, nz, steps, name)
+    result = compile_stencil_program(
+        program, PipelineOptions(grid_width=nx, grid_height=ny, num_chunks=2)
+    )
+    return program, result.program_module
+
+
+class TestShardGeometry:
+    def test_boxes_tile_the_fabric_exactly(self):
+        for width, height, extent in ((7, 5, 2), (8, 8, 3), (3, 3, 3), (5, 1, 1)):
+            boxes = shard_boxes(width, height, extent)
+            assert len(boxes) == extent * extent
+            covered = np.zeros((height, width), dtype=int)
+            for y0, y1, x0, x1 in boxes:
+                assert y0 < y1 and x0 < x1, "no shard may be empty"
+                covered[y0:y1, x0:x1] += 1
+            assert np.all(covered == 1), "every PE in exactly one shard"
+
+    def test_uneven_bands_stay_balanced(self):
+        boxes = shard_boxes(7, 7, 2)
+        widths = sorted({x1 - x0 for _, _, x0, x1 in boxes})
+        assert widths == [3, 4]
+
+    def test_extent_clamps_to_the_fabric(self, monkeypatch):
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        assert shard_extent(1, 1) == 1
+        assert shard_extent(8, 1) == 1
+        assert shard_extent(8, 8) == 2
+
+    def test_env_override_and_validation(self, monkeypatch):
+        monkeypatch.setenv(SHARD_ENV_VAR, "3")
+        assert shard_extent(9, 9) == 3
+        monkeypatch.setenv(SHARD_ENV_VAR, "0")
+        with pytest.raises(ValueError, match="must be >= 1"):
+            shard_extent(9, 9)
+        monkeypatch.setenv(SHARD_ENV_VAR, "many")
+        with pytest.raises(ValueError, match="expected a positive integer"):
+            shard_extent(9, 9)
+
+
+class TestTiledEquivalence:
+    def test_matches_vectorized_on_an_uneven_grid(self):
+        """5x7 with 2x2 shards: seams fall on uneven band edges."""
+        program, module = _compiled(5, 7, name="uneven")
+        vectorized_fields, vectorized_stats = run_on_executor(
+            "vectorized", program, module
+        )
+        tiled_fields, tiled_stats = run_on_executor("tiled", program, module)
+        for name, expected in vectorized_fields.items():
+            assert tiled_fields[name].tobytes() == expected.tobytes()
+        assert tiled_stats == vectorized_stats
+
+    def test_single_pe_grid_degenerates_to_one_shard(self):
+        program, module = _compiled(1, 1, name="lonely_tiled")
+        simulator = WseSimulator(module, executor="tiled")
+        assert len(simulator.executor.boxes) == 1
+        _, stats = run_on_executor("tiled", program, module)
+        _, expected = run_on_executor("vectorized", program, module)
+        assert stats == expected
+
+    def test_sequential_fallback_is_bit_identical(self, monkeypatch):
+        """A 1-shard grid never forks; it must still match exactly."""
+        monkeypatch.setenv(SHARD_ENV_VAR, "1")
+        program, module = _compiled(4, 4, name="seq_fallback")
+        tiled_fields, tiled_stats = run_on_executor("tiled", program, module)
+        monkeypatch.delenv(SHARD_ENV_VAR)
+        vectorized_fields, vectorized_stats = run_on_executor(
+            "vectorized", program, module
+        )
+        for name, expected in vectorized_fields.items():
+            assert tiled_fields[name].tobytes() == expected.tobytes()
+        assert tiled_stats == vectorized_stats
+
+    def test_three_by_three_shards(self, monkeypatch):
+        monkeypatch.setenv(SHARD_ENV_VAR, "3")
+        program, module = _compiled(6, 6, name="nine_shards")
+        simulator = WseSimulator(module, executor="tiled")
+        assert len(simulator.executor.boxes) == 9
+        tiled_fields, tiled_stats = run_on_executor("tiled", program, module)
+        monkeypatch.delenv(SHARD_ENV_VAR)
+        vectorized_fields, vectorized_stats = run_on_executor(
+            "vectorized", program, module
+        )
+        for name, expected in vectorized_fields.items():
+            assert tiled_fields[name].tobytes() == expected.tobytes()
+        assert tiled_stats == vectorized_stats
+
+
+class TestRepeatedExecution:
+    def test_second_execute_matches_the_other_backends(self):
+        """Scalar interpreter state persists across runs: a relaunch must
+        resume from it (fields AND statistics), not restart the program."""
+        program, module = _compiled(4, 4, name="twice")
+        results = {}
+        for executor in ("reference", "vectorized", "tiled"):
+            simulator = WseSimulator(module, executor=executor)
+            z = simulator.pe(0, 0).buffers["u"].shape[0]
+            simulator.load_field("u", np.ones((4, 4, z), dtype=np.float32))
+            simulator.execute()
+            simulator.execute()
+            results[executor] = (
+                {f: simulator.read_field(f).tobytes() for f in ("u", "v")},
+                simulator.statistics,
+            )
+        reference_fields, reference_stats = results["reference"]
+        for executor in ("vectorized", "tiled"):
+            fields, stats = results[executor]
+            assert fields == reference_fields
+            assert stats == reference_stats
+
+    @pytest.mark.parametrize("executor", ("reference", "vectorized", "tiled"))
+    def test_run_without_new_launch_is_a_settled_no_op(self, executor):
+        """On every backend alike: no launch since the last run means the
+        statistics come back unchanged and fields stay untouched."""
+        program, module = _compiled(4, 4, name="rerun")
+        simulator = WseSimulator(module, executor=executor)
+        stats_after_execute = replace(simulator.execute())
+        fields_before = simulator.read_field("v").tobytes()
+        simulator.run()  # no launch in between: nothing to do
+        assert simulator.read_field("v").tobytes() == fields_before
+        assert simulator.statistics == stats_after_execute
+
+
+class TestForkedFailurePaths:
+    def test_worker_errors_propagate_to_the_parent(self):
+        """A shard raising inside a forked worker (here: the round budget
+        exhausted) must release its siblings and surface in the parent as
+        an InterpretationError carrying the worker's diagnosis — not hang
+        out the sync timeout."""
+        from repro.ir.exceptions import InterpretationError
+
+        program, module = _compiled(4, 4, steps=2, name="budget")
+        simulator = WseSimulator(module, executor="tiled")
+        assert len(simulator.executor.boxes) > 1  # genuinely forked
+        simulator.launch()
+        with pytest.raises(InterpretationError, match="exceeded 1 rounds"):
+            simulator.run(max_rounds=1)
+
+
+class TestTiledHostSurface:
+    def test_per_pe_views_match_vectorized(self):
+        _, module = _compiled(4, 4, name="pe_views")
+        vectorized = WseSimulator(module, executor="vectorized")
+        tiled = WseSimulator(module, executor="tiled")
+        for simulator in (vectorized, tiled):
+            simulator.load_field(
+                "u", np.ones((4, 4, simulator.pe(0, 0).buffers["u"].shape[0]),
+                             dtype=np.float32)
+            )
+            simulator.execute()
+        centre_vec = vectorized.pe(2, 2)
+        centre_til = tiled.pe(2, 2)
+        assert dict(centre_til.counters) == dict(centre_vec.counters)
+        assert centre_til.memory_in_use() == centre_vec.memory_in_use()
+        assert centre_til.halted == centre_vec.halted
+        for name, column in centre_vec.buffers.items():
+            assert centre_til.buffers[name].tobytes() == column.tobytes()
+
+    def test_grid_views_cover_the_fabric(self):
+        _, module = _compiled(3, 2, name="views")
+        simulator = WseSimulator(module, executor="tiled")
+        assert len(simulator.grid) == 2
+        assert all(len(row) == 3 for row in simulator.grid)
+
+    def test_missing_field_is_diagnosed(self):
+        _, module = _compiled(2, 2, name="missing")
+        simulator = WseSimulator(module, executor="tiled")
+        with pytest.raises(KeyError, match="unknown field 'nope'"):
+            simulator.read_field("nope")
+
+    def test_load_field_shape_validation(self):
+        _, module = _compiled(2, 2, name="shapes")
+        simulator = WseSimulator(module, executor="tiled")
+        with pytest.raises(ValueError, match="expected columns of shape"):
+            simulator.load_field("u", np.zeros((3, 2, 4), dtype=np.float32))
