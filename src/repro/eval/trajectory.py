@@ -8,6 +8,13 @@ files share one record schema so trend tooling can concatenate them:
 ``{"name": str, "grid": "WxH", "executor": str, "seconds": float,
 "speedup": float}``
 
+plus one optional field:
+
+``"cache": "cold" | "warm"`` — whether the measured run paid one-time
+setup (``cold``: e.g. the ``compiled`` backend generating its kernel) or
+reused it (``warm``); records without the field measured a backend with no
+cache distinction.
+
 ``speedup`` is relative to the record's baseline executor (1.0 for the
 baseline itself); ``executor`` names the execution backend measured, or a
 stage label (e.g. ``run-service``) for non-simulator benchmarks.
@@ -21,21 +28,32 @@ from pathlib import Path
 #: the exact keys every trajectory record must carry.
 RECORD_KEYS = ("name", "grid", "executor", "seconds", "speedup")
 
+#: optional keys a record may additionally carry, with their legal values.
+OPTIONAL_KEYS = {"cache": ("cold", "warm")}
+
 #: bump when the record shape changes.
 TRAJECTORY_SCHEMA_VERSION = 1
 
 
 def make_record(
-    name: str, grid: str, executor: str, seconds: float, speedup: float
+    name: str,
+    grid: str,
+    executor: str,
+    seconds: float,
+    speedup: float,
+    cache: str | None = None,
 ) -> dict:
     """One schema-conforming trajectory record."""
-    return {
+    record = {
         "name": name,
         "grid": grid,
         "executor": executor,
         "seconds": round(float(seconds), 6),
         "speedup": round(float(speedup), 3),
     }
+    if cache is not None:
+        record["cache"] = cache
+    return record
 
 
 def write_trajectory(path: str | Path, records: list[dict]) -> Path:
@@ -51,11 +69,18 @@ def write_trajectory(path: str | Path, records: list[dict]) -> Path:
             f"trajectory files are named BENCH_*.json, got {path.name!r}"
         )
     for record in records:
-        if tuple(sorted(record)) != tuple(sorted(RECORD_KEYS)):
+        required = {key for key in record if key not in OPTIONAL_KEYS}
+        if tuple(sorted(required)) != tuple(sorted(RECORD_KEYS)):
             raise ValueError(
                 f"trajectory record keys {sorted(record)} do not match the "
                 f"shared schema {sorted(RECORD_KEYS)}"
             )
+        for key, legal in OPTIONAL_KEYS.items():
+            if key in record and record[key] not in legal:
+                raise ValueError(
+                    f"trajectory record {key}={record[key]!r} is not one "
+                    f"of {legal}"
+                )
     payload = {
         "schema_version": TRAJECTORY_SCHEMA_VERSION,
         "records": records,
@@ -76,15 +101,22 @@ def read_trajectory(path: str | Path) -> list[dict]:
 
 
 def merge_trajectory(path: str | Path, records: list[dict]) -> Path:
-    """Merge new records into a trajectory file by ``(name, grid, executor)``.
+    """Merge new records into a trajectory file by
+    ``(name, grid, executor, cache)``.
 
     Existing records with the same key are replaced, everything else is
     preserved — so independent benchmarks (or a partial rerun of one) each
-    refresh their own rows without clobbering the rest of the file.  An
+    refresh their own rows without clobbering the rest of the file (a
+    backend's cold and warm measurements are distinct rows).  An
     unreadable or stale-schema file is simply rewritten.
     """
     path = Path(path)
-    key = lambda record: (record["name"], record["grid"], record["executor"])
+    key = lambda record: (
+        record["name"],
+        record["grid"],
+        record["executor"],
+        record.get("cache"),
+    )
     try:
         existing = read_trajectory(path)
     except (OSError, ValueError, KeyError):

@@ -8,7 +8,8 @@ Four subcommands:
 * ``run BENCH [BENCH ...]`` — end-to-end run jobs: compile, simulate on a
   chosen execution backend, and print the per-field result digests; repeats
   are served from the run-artifact cache;
-* ``stats`` — describe the on-disk artifact stores (compile + run);
+* ``stats`` — describe the on-disk artifact stores (compile + run +
+  generated ``compiled``-backend kernels);
 * ``purge`` — empty the on-disk artifact stores.
 """
 
@@ -21,12 +22,14 @@ import time
 from repro.benchmarks.definitions import ALL_BENCHMARKS, benchmark_by_name
 from repro.frontends.common import BoundaryCondition
 from repro.service.cache import DiskArtifactCache
+from repro.service.kernels import KernelSourceStore
 from repro.service.run import (
     DEFAULT_MAX_ROUNDS,
     DEFAULT_RUN_SEED,
     RunArtifactStore,
     RunService,
 )
+from repro.wse.codegen import kernel_cache_statistics
 from repro.service.service import CompileService
 from repro.transforms.pipeline import PipelineOptions
 from repro.wse.executors import available_executors
@@ -257,12 +260,22 @@ def _run_run(args: argparse.Namespace, out) -> int:
 def _run_stats(args: argparse.Namespace, out) -> int:
     store = DiskArtifactCache(args.cache_dir)
     runs = RunArtifactStore(args.cache_dir)
+    kernels = KernelSourceStore(args.cache_dir)
+    cache = kernel_cache_statistics()
     print(f"artifact store: {store.directory}", file=out)
     print(f"  artifacts: {len(store)}", file=out)
     print(f"  bytes:     {store.total_bytes()}", file=out)
     print(f"run store:      {runs.directory}", file=out)
     print(f"  artifacts: {len(runs)}", file=out)
     print(f"  bytes:     {runs.total_bytes()}", file=out)
+    print(f"kernel store:   {kernels.directory}", file=out)
+    print(f"  kernels:   {len(kernels)}", file=out)
+    print(f"  bytes:     {kernels.total_bytes()}", file=out)
+    print(
+        f"  this process: hits {cache.hits} (memory {cache.memory_hits}, "
+        f"store {cache.disk_hits})  codegens {cache.codegens}",
+        file=out,
+    )
     return 0
 
 
@@ -270,8 +283,10 @@ def _run_purge(args: argparse.Namespace, out) -> int:
     store = DiskArtifactCache(args.cache_dir)
     removed = store.purge()
     runs_removed = RunArtifactStore(args.cache_dir).purge()
+    kernels_removed = KernelSourceStore(args.cache_dir).purge()
     print(f"purged {removed} artifacts from {store.directory}", file=out)
     print(f"purged {runs_removed} run artifacts", file=out)
+    print(f"purged {kernels_removed} kernel sources", file=out)
     return 0
 
 

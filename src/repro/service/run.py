@@ -42,14 +42,22 @@ from repro.service.fingerprint import (
     compute_fingerprint,
     fingerprint_payload,
 )
+from repro.service.kernels import KernelSourceStore
 from repro.service.service import CompileService
 from repro.transforms.pipeline import PipelineOptions
+from repro.wse.codegen import (
+    CODEGEN_VERSION,
+    KernelCodegenError,
+    get_kernel,
+    kernel_cache_statistics,
+)
 from repro.wse.executors import default_executor_name, executor_by_name
-from repro.wse.plan import PLAN_VERSION
+from repro.wse.interpreter import ProgramImage
+from repro.wse.plan import PLAN_VERSION, ExecutionPlan
 from repro.wse.simulator import WseSimulator
 
 #: current run-artifact schema; bumping it invalidates stored run artifacts.
-RUN_SCHEMA_VERSION = 1
+RUN_SCHEMA_VERSION = 2
 
 #: default seed of the deterministic input-field initialiser.
 DEFAULT_RUN_SEED = 13
@@ -69,9 +77,11 @@ def run_fingerprint_payload(
 
     Extends the compile-stage payload with everything that additionally
     determines a run's outcome: the execution backend, the input-field
-    seed, the round budget, and the plan version (all backends replay the
+    seed, the round budget, the plan version (all backends replay the
     plan, so its lowering semantics are run-relevant even though they never
-    reach the printed artifact).
+    reach the printed artifact), and the kernel-codegen version (the
+    ``compiled`` backend executes generated code, so emitter changes must
+    invalidate cached runs the same way planning changes do).
     """
     payload = fingerprint_payload(program, options)
     payload["run"] = {
@@ -80,6 +90,7 @@ def run_fingerprint_payload(
         "seed": seed,
         "max_rounds": max_rounds,
         "plan_version": PLAN_VERSION,
+        "codegen_version": CODEGEN_VERSION,
     }
     return payload
 
@@ -120,6 +131,10 @@ class RunArtifact:
     statistics: dict
     #: SHA-256 of each gathered field's bytes, keyed by field name.
     field_digests: dict[str, str]
+    #: kernel-cache provenance of a ``compiled``-backend run: the kernel
+    #: fingerprint and where it was served from (``memory`` / ``store`` /
+    #: ``codegen``), or the fallback reason; None on interpreting backends.
+    kernel_cache: dict | None = None
     schema_version: int = RUN_SCHEMA_VERSION
 
     def to_json(self) -> str:
@@ -247,6 +262,8 @@ class RunService:
         )
         self.memory = InMemoryArtifactCache(memory_capacity)
         self.store = RunArtifactStore(cache_dir)
+        #: generated-kernel sources shared fleet-wide (compiled backend).
+        self.kernels = KernelSourceStore(cache_dir)
         self.statistics = RunServiceStatistics()
         self._lock = threading.Lock()
 
@@ -361,6 +378,10 @@ class RunService:
         if result.options.boundary != program.boundary:
             effective = replace(program, boundary=result.options.boundary)
 
+        kernel_cache = None
+        if executor_name == "compiled":
+            kernel_cache = self._warm_kernel(result.program_module)
+
         simulator = WseSimulator(result.program_module, executor=executor_name)
         rng = np.random.default_rng(seed)
         fields = allocate_fields(
@@ -391,7 +412,37 @@ class RunService:
             rounds=statistics.rounds,
             statistics=asdict(statistics),
             field_digests=digests,
+            kernel_cache=kernel_cache,
         )
+
+    def _warm_kernel(self, program_module) -> dict:
+        """Resolve the generated kernel through the fleet-wide source store.
+
+        Compiles (or looks up) the kernel *before* the simulator is built,
+        passing the persistent store: a fleet member that already generated
+        this kernel serves its source from disk, and whatever this call
+        resolves is a guaranteed in-memory hit for the executor.  Returns
+        the provenance record folded into the run artifact.
+        """
+        image = ProgramImage(program_module)
+        plan = ExecutionPlan.compile(image, image.width, image.height)
+        before = kernel_cache_statistics()
+        memory_hits, disk_hits = before.memory_hits, before.disk_hits
+        try:
+            kernel = get_kernel(image, plan, store=self.kernels)
+        except KernelCodegenError as error:
+            return {"served_from": "fallback", "reason": str(error)}
+        after = kernel_cache_statistics()
+        if after.memory_hits > memory_hits:
+            served_from = "memory"
+        elif after.disk_hits > disk_hits:
+            served_from = "store"
+        else:
+            served_from = "codegen"
+        return {
+            "fingerprint": kernel.fingerprint,
+            "served_from": served_from,
+        }
 
     # ------------------------------------------------------------------ #
     # Lifecycle / reporting
@@ -408,13 +459,18 @@ class RunService:
         self.shutdown()
 
     def format_statistics(self) -> str:
-        """Human-readable run + compile counters for the CLI."""
+        """Human-readable run + compile + kernel counters for the CLI."""
         stats = self.statistics
+        kernels = kernel_cache_statistics()
         lines = [
             "run service statistics:",
             f"  submitted {stats.submitted}  run-cache hits {stats.cache_hits}  "
             f"simulations {stats.simulations}",
             f"  run store: {self.store.directory} ({len(self.store)} artifacts)",
+            f"  kernel cache: hits {kernels.hits} (memory {kernels.memory_hits}, "
+            f"store {kernels.disk_hits})  codegens {kernels.codegens}",
+            f"  kernel store: {self.kernels.directory} "
+            f"({len(self.kernels)} kernels)",
             self.compiler.format_statistics(),
         ]
         return "\n".join(lines)

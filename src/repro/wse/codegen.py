@@ -1,0 +1,882 @@
+"""Plan-to-kernel code generation for the ``compiled`` executor.
+
+The vectorized backend still *interprets* the csl-ir program once per
+delivery round: every op pays a dict dispatch, every DSD operand a slice
+construction, and the halo exchange allocates fresh gather/concatenate
+arrays per chunk.  On small fabrics that dispatch overhead dominates; on
+large fabrics the per-round allocations do.  This module removes both by
+walking the :class:`~repro.wse.plan.ExecutionPlan` **once** and emitting a
+single fused per-round Python/NumPy function as source text, materialised
+via ``exec``:
+
+* every callable becomes a plain Python function (``counters`` bump +
+  straight-line statements) — task activations append bound functions to a
+  queue, direct calls are direct calls;
+* every *static* DSD access becomes a named whole-grid view bound once at
+  kernel-bind time; only runtime-offset DSDs (receive-callback chunk bases)
+  slice per call;
+* DSD compute builtins lower to allocation-free ``np.add/subtract/multiply
+  (..., out=view)`` forms whenever the static operand layout proves the
+  destination never partially overlaps a source — otherwise they fall back
+  to the interpreter's exact ``dest[:] = expr`` statement, so results stay
+  byte-identical either way;
+* the chunked halo exchange unrolls into per-direction copies into
+  preallocated staging buffers: gatherable directions are fancy-index
+  gathers through the plan's fold tables, Dirichlet directions write only
+  the interior rectangle over a border prefilled once at bind time.
+
+Kernels are cached process-wide in an in-memory memo keyed by a *kernel
+fingerprint* (SHA-256 over the printed program module, the plan's canonical
+form and :data:`CODEGEN_VERSION`), and optionally persisted through a
+source store (see :mod:`repro.service.kernels`) so compilation is paid once
+fleet-wide.  Set ``REPRO_COMPILED_DUMP`` to a directory to retain the
+emitted source of every kernel for debugging.
+
+Only the constructs the pipeline generates are compilable; anything else
+raises :class:`KernelCodegenError` and the ``compiled`` executor falls back
+to plain vectorized interpretation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.dialects import arith, csl, scf
+from repro.ir.attributes import StringAttr
+from repro.ir.operation import Operation
+from repro.ir.printer import print_module
+from repro.wse.plan import ExchangePlan, ExecutionPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wse.interpreter import ProgramImage
+
+#: bump when the emitted kernel semantics change; folded into kernel
+#: fingerprints (stale memo/store entries then miss) and into run-level
+#: fingerprints so cached run artifacts invalidate alongside.
+CODEGEN_VERSION = 1
+
+#: environment variable naming a directory to retain emitted kernel source
+#: in (``kernel_<fingerprint12>.py`` per kernel) for debugging.
+DUMP_ENV_VAR = "REPRO_COMPILED_DUMP"
+
+
+class KernelCodegenError(Exception):
+    """The program uses a construct the kernel generator does not fuse."""
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprints
+# --------------------------------------------------------------------------- #
+
+
+def kernel_fingerprint(image: "ProgramImage", plan: ExecutionPlan) -> str:
+    """Content fingerprint of one (program module, plan) kernel.
+
+    Hashes the deterministically printed program module together with the
+    plan's canonical form and the codegen version, so two processes that
+    compiled the same program to the same plan share one kernel — and any
+    change to the program, the planning semantics or the emitter invalidates
+    it exactly once.
+    """
+    payload = {
+        "codegen_version": CODEGEN_VERSION,
+        "module": print_module(image.module),
+        "plan": plan.canonical(),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Source building
+# --------------------------------------------------------------------------- #
+
+
+class SourceBuilder:
+    """An indent-aware line emitter for generated Python source."""
+
+    def __init__(self, indent: int = 0):
+        self._lines: list[str] = []
+        self._indent = indent
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(("    " * self._indent + text) if text else "")
+
+    @contextmanager
+    def indented(self):
+        self._indent += 1
+        try:
+            yield self
+        finally:
+            self._indent -= 1
+
+    def extend(self, other: "SourceBuilder") -> None:
+        self._lines.extend(other._lines)
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+@dataclass(frozen=True)
+class _DsdExpr:
+    """A DSD value during emission: static layout + optional runtime offset.
+
+    ``runtime`` is a Python expression (already ``int(...)``-wrapped) added
+    to ``offset`` at execution time, or ``None`` for fully static DSDs.
+    """
+
+    buffer: str
+    offset: int
+    length: int
+    stride: int
+    runtime: str | None = None
+
+    @property
+    def view_key(self) -> tuple:
+        return (self.buffer, self.offset, self.length, self.stride, self.runtime)
+
+
+_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _atom(expression: str) -> str:
+    """Wrap a subexpression so it composes safely inside a larger one."""
+    if _IDENTIFIER.match(expression):
+        return expression
+    if re.fullmatch(r"\d+(\.\d+)?", expression):
+        return expression
+    return f"({expression})"
+
+
+class _KernelEmitter:
+    """Walks one program image + plan and emits the kernel source."""
+
+    #: ops the interpreter treats as no-ops (host/layout surface).
+    NOOP_OPS = (
+        csl.ImportModuleOp,
+        csl.ExportOp,
+        csl.RpcOp,
+        csl.MemberCallOp,
+        csl.MemberAccessOp,
+    )
+
+    BINARY_OPS = {
+        arith.AddiOp: "+",
+        arith.SubiOp: "-",
+        arith.MuliOp: "*",
+        arith.AddfOp: "+",
+        arith.SubfOp: "-",
+        arith.MulfOp: "*",
+        arith.DivfOp: "/",
+    }
+
+    CMP_OPS = {
+        "eq": "==",
+        "ne": "!=",
+        "slt": "<",
+        "sle": "<=",
+        "sgt": ">",
+        "sge": ">=",
+    }
+
+    def __init__(self, image: "ProgramImage", plan: ExecutionPlan):
+        self.image = image
+        self.plan = plan
+        self._fn_names: dict[str, str] = {}
+        self._buffer_names: dict[str, str] = {}
+        self._views: dict[tuple, str] = {}  # (buffer, offset, length, stride)
+        self._gathers: dict[tuple[int, int], tuple[str, str]] = {}
+        self._scratch: dict[int, str] = {}  # dest length -> name
+        #: (eid, exchange plan, authoritative source buffer) per comms op.
+        self._exchanges: list[tuple[int, ExchangePlan, str]] = []
+        self._temp = 0
+
+    # -- naming --------------------------------------------------------- #
+
+    def _assign_names(self) -> None:
+        used: set[str] = set()
+        for name in sorted(self.image.callables):
+            base = "fn_" + re.sub(r"[^0-9A-Za-z_]", "_", name)
+            candidate, suffix = base, 1
+            while candidate in used:
+                candidate = f"{base}_{suffix}"
+                suffix += 1
+            used.add(candidate)
+            self._fn_names[name] = candidate
+        for buffer in sorted(self.plan.buffers):
+            base = "b_" + re.sub(r"[^0-9A-Za-z_]", "_", buffer)
+            candidate, suffix = base, 1
+            while candidate in used:
+                candidate = f"{base}_{suffix}"
+                suffix += 1
+            used.add(candidate)
+            self._buffer_names[buffer] = candidate
+
+    def _fn(self, name: str) -> str:
+        fn = self._fn_names.get(name)
+        if fn is None:
+            raise KernelCodegenError(f"reference to unknown callable '{name}'")
+        return fn
+
+    def _buffer(self, name: str) -> str:
+        local = self._buffer_names.get(name)
+        if local is None:
+            raise KernelCodegenError(f"reference to unknown buffer '{name}'")
+        return local
+
+    def _static_view(self, dsd: _DsdExpr) -> str:
+        key = (dsd.buffer, dsd.offset, dsd.length, dsd.stride)
+        name = self._views.get(key)
+        if name is None:
+            name = f"v{len(self._views)}"
+            self._views[key] = name
+        return name
+
+    def _gather(self, direction: tuple[int, int]) -> tuple[str, str]:
+        names = self._gathers.get(direction)
+        if names is None:
+            tag = "_".join(
+                ("m" + str(-c)) if c < 0 else ("p" + str(c)) for c in direction
+            )
+            names = (f"gr_{tag}", f"gc_{tag}")
+            self._gathers[direction] = names
+        return names
+
+    def _scratch_for(self, length: int) -> str:
+        name = self._scratch.get(length)
+        if name is None:
+            name = f"scr{length}"
+            self._scratch[length] = name
+        return name
+
+    def _fresh(self) -> str:
+        self._temp += 1
+        return f"t{self._temp}"
+
+    # -- value resolution ----------------------------------------------- #
+
+    def _entry(self, value, env: dict[int, Any]):
+        entry = env.get(id(value))
+        if entry is None:
+            raise KernelCodegenError(
+                "use of a value that was never defined while emitting "
+                f"(type {value.type})"
+            )
+        return entry
+
+    def _scalar(self, value, env: dict[int, Any]) -> str:
+        entry = self._entry(value, env)
+        if isinstance(entry, _DsdExpr):
+            raise KernelCodegenError("a DSD value was used where a scalar is")
+        return entry
+
+    def _slice(self, dsd: _DsdExpr) -> str:
+        stop = dsd.offset + dsd.length * dsd.stride
+        step = f":{dsd.stride}" if dsd.stride != 1 else ""
+        return f"{dsd.offset}:{stop}{step}"
+
+    def _operand_view(
+        self, dsd: _DsdExpr, builder: SourceBuilder
+    ) -> str:
+        """The NumPy view expression of a DSD operand.
+
+        Static DSDs resolve to kernel-bind-time named views; runtime-offset
+        DSDs slice inside the emitted function (with the same range check
+        ``Dsd.resolve_columns`` performs)."""
+        if dsd.runtime is None:
+            return self._static_view(dsd)
+        offset_name = self._fresh()
+        builder.line(f"{offset_name} = {dsd.offset} + {dsd.runtime}")
+        view_name = self._fresh()
+        stop = f"{offset_name} + {dsd.length * dsd.stride}"
+        step = f":{dsd.stride}" if dsd.stride != 1 else ""
+        builder.line(
+            f"{view_name} = {self._buffer(dsd.buffer)}"
+            f"[:, :, {offset_name}:{stop}{step}]"
+        )
+        builder.line(
+            f"if {view_name}.shape[2] != {dsd.length}: "
+            f"raise IndexError(\"DSD over '{dsd.buffer}' out of range\")"
+        )
+        return view_name
+
+    # -- callable emission ---------------------------------------------- #
+
+    def _emit_callable(self, name: str, builder: SourceBuilder) -> None:
+        callable_op = self.image.callables[name]
+        block = callable_op.regions[0].blocks[0]
+        env: dict[int, Any] = {}
+        if block.args:
+            env[id(block.args[0])] = "arg"
+        builder.line(f"def {self._fn_names[name]}(arg=0):")
+        with builder.indented():
+            builder.line("counters['tasks_run'] += 1")
+            self._emit_block(block, env, builder)
+
+    def _emit_block(self, block, env: dict[int, Any], b: SourceBuilder) -> None:
+        for op in block.ops:
+            if isinstance(op, (csl.ReturnOp, scf.YieldOp)):
+                return
+            self._emit_op(op, env, b)
+
+    def _emit_op(self, op: Operation, env: dict[int, Any], b: SourceBuilder):
+        if isinstance(op, (csl.ConstantOp, arith.ConstantOp)):
+            env[id(op.results[0])] = repr(op.value)
+        elif isinstance(op, csl.LoadVarOp):
+            name = self._fresh()
+            b.line(f"{name} = variables.get({op.var!r}, 0)")
+            env[id(op.result)] = name
+        elif isinstance(op, csl.StoreVarOp):
+            b.line(f"variables[{op.var!r}] = {self._scalar(op.value, env)}")
+        elif type(op) in self.BINARY_OPS:
+            operator = self.BINARY_OPS[type(op)]
+            name = self._fresh()
+            lhs = _atom(self._scalar(op.lhs, env))
+            rhs = _atom(self._scalar(op.rhs, env))
+            b.line(f"{name} = {lhs} {operator} {rhs}")
+            env[id(op.result)] = name
+        elif isinstance(op, arith.CmpiOp):
+            operator = self.CMP_OPS[op.predicate]
+            name = self._fresh()
+            lhs = _atom(self._scalar(op.lhs, env))
+            rhs = _atom(self._scalar(op.rhs, env))
+            b.line(f"{name} = bool({lhs} {operator} {rhs})")
+            env[id(op.result)] = name
+        elif isinstance(op, scf.IfOp):
+            self._emit_if(op, env, b)
+        elif isinstance(op, csl.CallOp):
+            b.line(f"{self._fn(op.callee)}()")
+        elif isinstance(op, csl.ActivateOp):
+            b.line(f"queue.append(({self._fn(op.task_name)}, 0))")
+        elif isinstance(op, csl.GetMemDsdOp):
+            env[id(op.result)] = self._dsd_of_get(op, env)
+        elif isinstance(op, csl.IncrementDsdOffsetOp):
+            env[id(op.result)] = self._dsd_of_increment(op, env)
+        elif isinstance(op, csl.DSD_BUILTIN_OPS):
+            self._emit_builtin(op, env, b)
+        elif isinstance(op, csl.CommsExchangeOp):
+            self._emit_exchange_schedule(op, env, b)
+        elif isinstance(op, csl.UnblockCmdStreamOp):
+            b.line("state.halted = True")
+        elif isinstance(op, self.NOOP_OPS):
+            pass  # results stay undefined, exactly like the interpreter
+        else:
+            raise KernelCodegenError(f"unsupported operation '{op.name}'")
+
+    def _emit_if(self, op: scf.IfOp, env: dict[int, Any], b: SourceBuilder):
+        condition = self._scalar(op.condition, env)
+        b.line(f"if {condition}:")
+        with b.indented():
+            before = len(b)
+            region = op.then_region
+            if region.blocks and region.blocks[0].ops:
+                self._emit_block(region.blocks[0], env, b)
+            if len(b) == before:
+                b.line("pass")
+        region = op.else_region
+        if region.blocks and region.blocks[0].ops:
+            b.line("else:")
+            with b.indented():
+                before = len(b)
+                self._emit_block(region.blocks[0], env, b)
+                if len(b) == before:
+                    b.line("pass")
+
+    # -- DSD values ------------------------------------------------------ #
+
+    def _dsd_of_get(self, op: csl.GetMemDsdOp, env: dict[int, Any]) -> _DsdExpr:
+        planned = self.plan.static_dsd(op)
+        if planned is not None:
+            return _DsdExpr(
+                planned.buffer, planned.offset, planned.length, planned.stride
+            )
+        buffer_attr = op.attributes.get("buffer")
+        if isinstance(buffer_attr, StringAttr):
+            buffer_name = buffer_attr.data
+        elif op.operands:
+            source = self._entry(op.operands[0], env)
+            if not isinstance(source, _DsdExpr):
+                raise KernelCodegenError("csl.get_mem_dsd operand is not a DSD")
+            buffer_name = source.buffer
+        else:
+            raise KernelCodegenError(
+                "csl.get_mem_dsd has neither buffer nor operand"
+            )
+        return _DsdExpr(buffer_name, op.offset, op.length, op.stride)
+
+    def _dsd_of_increment(
+        self, op: csl.IncrementDsdOffsetOp, env: dict[int, Any]
+    ) -> _DsdExpr:
+        planned = self.plan.static_dsd(op)
+        if planned is not None:
+            return _DsdExpr(
+                planned.buffer, planned.offset, planned.length, planned.stride
+            )
+        base = self._entry(op.operands[0], env)
+        if not isinstance(base, _DsdExpr):
+            raise KernelCodegenError(
+                "csl.increment_dsd_offset operand is not a DSD"
+            )
+        runtime = base.runtime
+        if len(op.operands) > 1:
+            extra = _atom(self._scalar(op.operands[1], env))
+            term = f"int({extra})"
+            runtime = term if runtime is None else f"{runtime} + {term}"
+        return _DsdExpr(
+            base.buffer,
+            base.offset + op.offset,
+            base.length,
+            base.stride,
+            runtime,
+        )
+
+    # -- DSD compute builtins -------------------------------------------- #
+
+    def _hazard(self, dest: _DsdExpr, sources: list[Any]) -> bool:
+        """True when a source view shares the destination buffer with a
+        *different* layout — the interpreter's full-RHS-then-assign order
+        is then load-bearing and the out=-form must not be used."""
+        for source in sources:
+            if not isinstance(source, _DsdExpr):
+                continue
+            if source.buffer != dest.buffer:
+                continue
+            if source.view_key != dest.view_key:
+                return True
+        return False
+
+    def _emit_builtin(self, op, env: dict[int, Any], b: SourceBuilder) -> None:
+        dest = self._entry(op.dest, env)
+        if not isinstance(dest, _DsdExpr):
+            raise KernelCodegenError(f"'{op.name}' destination is not a DSD")
+        sources = [self._entry(source, env) for source in op.sources]
+        hazard = self._hazard(dest, sources)
+        if isinstance(op, csl.FmacsOp) and any(
+            isinstance(s, _DsdExpr) and s.length != dest.length for s in sources
+        ):
+            hazard = True  # scratch shape follows dest; odd shapes fall back
+
+        views = [
+            self._operand_view(s, b) if isinstance(s, _DsdExpr) else _atom(s)
+            for s in sources
+        ]
+        dest_view = self._operand_view(dest, b)
+
+        if isinstance(op, csl.FmovsOp):
+            (src,) = views
+            if hazard or not isinstance(sources[0], _DsdExpr):
+                b.line(f"{dest_view}[:] = {src}")
+            else:
+                b.line(f"np.copyto({dest_view}, {src})")
+        elif isinstance(op, csl.FmacsOp):
+            acc, src, coeff = views
+            if hazard:
+                b.line(f"{dest_view}[:] = {acc} + {src} * {coeff}")
+            elif isinstance(sources[1], _DsdExpr):
+                scratch = self._scratch_for(dest.length)
+                b.line(f"np.multiply({src}, {coeff}, out={scratch})")
+                b.line(f"np.add({acc}, {scratch}, out={dest_view})")
+            else:
+                b.line(f"np.add({acc}, {src} * {coeff}, out={dest_view})")
+        else:
+            ufunc, operator = {
+                csl.FaddsOp: ("np.add", "+"),
+                csl.FsubsOp: ("np.subtract", "-"),
+                csl.FmulsOp: ("np.multiply", "*"),
+            }[type(op)]
+            a, c = views
+            if hazard:
+                b.line(f"{dest_view}[:] = {a} {operator} {c}")
+            else:
+                b.line(f"{ufunc}({a}, {c}, out={dest_view})")
+        b.line("counters['dsd_ops'] += 1")
+        b.line(f"counters['dsd_elements'] += {dest.length}")
+
+    # -- the comms exchange ---------------------------------------------- #
+
+    def _emit_exchange_schedule(
+        self, op: csl.CommsExchangeOp, env: dict[int, Any], b: SourceBuilder
+    ) -> None:
+        source = self._entry(op.buffer, env)
+        if not isinstance(source, _DsdExpr):
+            raise KernelCodegenError(
+                "csl.comms_exchange buffer operand is not a DSD"
+            )
+        planned = self.plan.exchange_plan(op)
+        if planned is None:
+            attributes = op.attributes
+            planned = ExchangePlan(
+                source_buffer=source.buffer,
+                source_offset=attributes["src_offset"].value,
+                source_length=attributes["src_len"].value,
+                chunk_size=attributes["chunk_size"].value,
+                num_chunks=op.num_chunks,
+                directions=tuple((d[0], d[1]) for d in op.directions),
+                coefficients=(
+                    tuple(op.coefficients)
+                    if op.coefficients is not None
+                    else None
+                ),
+                receive_buffer=attributes["recv_buffer"].string_value,
+                receive_callback=op.recv_callback,
+                done_callback=op.done_callback,
+            )
+        for callback in (planned.receive_callback, planned.done_callback):
+            if callback and callback not in self.image.callables:
+                raise KernelCodegenError(
+                    f"exchange callback '{callback}' is not a callable"
+                )
+        if planned.receive_buffer not in self.plan.buffers:
+            raise KernelCodegenError(
+                f"exchange receive buffer '{planned.receive_buffer}' is "
+                f"not a program buffer"
+            )
+        eid = len(self._exchanges)
+        # The runtime DSD operand's buffer stays authoritative, exactly as
+        # in the interpreter's planned path.
+        self._exchanges.append((eid, planned, source.buffer))
+        b.line("counters['exchanges'] += 1")
+        b.line(f"pending[0] = {eid}")
+
+    def _emit_deliver_fn(
+        self,
+        eid: int,
+        exchange: ExchangePlan,
+        source_buffer: str,
+        b: SourceBuilder,
+    ) -> None:
+        depth = exchange.chunk_size * len(exchange.directions)
+        source = self._buffer(source_buffer)
+        b.line(f"def deliver_{eid}():")
+        with b.indented():
+            body_start = len(b)
+            total = exchange.num_chunks * exchange.chunk_size * len(
+                exchange.directions
+            )
+            # Phase 1: stage every chunk before any callback may write.
+            for chunk in range(exchange.num_chunks):
+                start = exchange.source_offset + chunk * exchange.chunk_size
+                stop = start + exchange.chunk_size
+                for slot, direction in enumerate(exchange.directions):
+                    self._emit_stage_direction(
+                        eid, exchange, chunk, slot, direction,
+                        source, start, stop, b,
+                    )
+            if total:
+                b.line(f"counters['wavelets_sent'] += {total}")
+            # Phase 2: deliver chunk by chunk, receive callback per chunk.
+            receive_view = (
+                self._static_view(
+                    _DsdExpr(exchange.receive_buffer, 0, depth, 1)
+                )
+                if depth
+                else None
+            )
+            for chunk in range(exchange.num_chunks):
+                if receive_view is not None:
+                    b.line(f"np.copyto({receive_view}, st{eid}_{chunk})")
+                if exchange.receive_callback:
+                    argument = chunk * exchange.chunk_size
+                    b.line(f"{self._fn(exchange.receive_callback)}({argument})")
+            if exchange.done_callback:
+                b.line(
+                    f"queue.append(({self._fn(exchange.done_callback)}, 0))"
+                )
+            if len(b) == body_start:  # zero-chunk, no-callback degenerate
+                b.line("pass")
+
+    def _emit_stage_direction(
+        self,
+        eid: int,
+        exchange: ExchangePlan,
+        chunk: int,
+        slot: int,
+        direction: tuple[int, int],
+        source: str,
+        start: int,
+        stop: int,
+        b: SourceBuilder,
+    ) -> None:
+        z0 = slot * exchange.chunk_size
+        z1 = z0 + exchange.chunk_size
+        staging = f"st{eid}_{chunk}[:, :, {z0}:{z1}]"
+        coefficient = (
+            f"c{eid}_{slot}" if exchange.coefficients is not None else None
+        )
+        if self.plan.gather_indices(direction) is not None:
+            rows, cols = self._gather(direction)
+            gathered = f"{source}[{rows}, {cols}, {start}:{stop}]"
+            if coefficient is None:
+                b.line(f"{staging} = {gathered}")
+            else:
+                b.line(f"np.multiply({gathered}, {coefficient}, out={staging})")
+            return
+        # Dirichlet fill path: the staging border was prefilled at bind
+        # time; only the interior rectangle moves per round.
+        table = self.plan.halo_table(direction)
+        dx, dy = direction
+        y0, y1, x0, x1 = table.interior_box()
+        if y0 >= y1 or x0 >= x1:
+            return
+        staging = (
+            f"st{eid}_{chunk}[{y0}:{y1}, {x0}:{x1}, {z0}:{z1}]"
+        )
+        shifted = (
+            f"{source}[{y0 + dy}:{y1 + dy}, {x0 + dx}:{x1 + dx}, "
+            f"{start}:{stop}]"
+        )
+        if coefficient is None:
+            b.line(f"{staging} = {shifted}")
+        else:
+            b.line(f"np.multiply({shifted}, {coefficient}, out={staging})")
+
+    # -- assembly --------------------------------------------------------- #
+
+    def emit(self, fingerprint: str | None = None) -> str:
+        self._assign_names()
+
+        callables = SourceBuilder(indent=1)
+        for name in sorted(self.image.callables):
+            self._emit_callable(name, callables)
+
+        delivery = SourceBuilder(indent=1)
+        for eid, exchange, source_buffer in self._exchanges:
+            self._emit_deliver_fn(eid, exchange, source_buffer, delivery)
+        delivery.line("def deliver():")
+        with delivery.indented():
+            delivery.line("eid = pending[0]")
+            delivery.line("if eid < 0:")
+            with delivery.indented():
+                delivery.line("return 0")
+            delivery.line("pending[0] = -1")
+            for eid, _, _ in self._exchanges:
+                keyword = "if" if eid == 0 else "elif"
+                delivery.line(f"{keyword} eid == {eid}:")
+                with delivery.indented():
+                    delivery.line(f"deliver_{eid}()")
+            delivery.line(f"return {self.plan.width * self.plan.height}")
+
+        out = SourceBuilder()
+        boundary = self.plan.boundary
+        out.line(
+            f"# kernel generated by repro.wse.codegen "
+            f"(codegen v{CODEGEN_VERSION}) -- do not edit"
+        )
+        out.line(
+            f"# entry {self.plan.entry!r}; grid "
+            f"{self.plan.width}x{self.plan.height}; "
+            f"boundary {boundary.kind}({boundary.value!r})"
+        )
+        if fingerprint:
+            out.line(f"# fingerprint {fingerprint}")
+        out.line("def make_kernel(state, plan):")
+        with out.indented():
+            out.line("counters = state.counters")
+            out.line("variables = state.variables")
+            out.line("queue = deque()")
+            out.line("pending = [-1]")
+            for buffer in sorted(self.plan.buffers):
+                out.line(f"{self._buffer_names[buffer]} = state.buffers[{buffer!r}]")
+            # Static whole-grid DSD views, bound (and range-checked) once.
+            for key, name in self._views.items():
+                buffer, offset, length, stride = key
+                dsd = _DsdExpr(buffer, offset, length, stride)
+                out.line(
+                    f"{name} = {self._buffer(buffer)}[:, :, {self._slice(dsd)}]"
+                )
+                out.line(
+                    f"if {name}.shape[2] != {length}: "
+                    f"raise IndexError(\"DSD over '{buffer}' out of range\")"
+                )
+            # Plan fold tables for the gatherable directions.
+            for direction, (rows, cols) in self._gathers.items():
+                out.line(
+                    f"{rows}, {cols} = plan.gather_indices(({direction[0]}, "
+                    f"{direction[1]}))"
+                )
+            # Per-exchange constants, staging buffers and border prefill.
+            grid = f"{self.plan.height}, {self.plan.width}"
+            for eid, exchange, _ in self._exchanges:
+                if exchange.coefficients is not None:
+                    for slot, coefficient in enumerate(exchange.coefficients):
+                        out.line(
+                            f"c{eid}_{slot} = np.float32({coefficient!r})"
+                        )
+                depth = exchange.chunk_size * len(exchange.directions)
+                for chunk in range(exchange.num_chunks):
+                    out.line(
+                        f"st{eid}_{chunk} = np.empty(({grid}, {depth}), "
+                        f"dtype=np.float32)"
+                    )
+                    for slot, direction in enumerate(exchange.directions):
+                        if self.plan.gather_indices(direction) is not None:
+                            continue
+                        fill = self.plan.halo_table(direction).fill_value
+                        z0 = slot * exchange.chunk_size
+                        z1 = z0 + exchange.chunk_size
+                        value = f"np.float32({fill!r})"
+                        if exchange.coefficients is not None:
+                            value = f"{value} * c{eid}_{slot}"
+                        out.line(
+                            f"st{eid}_{chunk}[:, :, {z0}:{z1}] = {value}"
+                        )
+            for length in sorted(self._scratch):
+                out.line(
+                    f"{self._scratch[length]} = np.empty(({grid}, {length}), "
+                    f"dtype=np.float32)"
+                )
+            out.extend(callables)
+            out.extend(delivery)
+            out.line("def drain():")
+            with out.indented():
+                out.line("while queue and not state.halted:")
+                with out.indented():
+                    out.line("fn, a = queue.popleft()")
+                    out.line("fn(a)")
+            out.line("def settled():")
+            with out.indented():
+                out.line(
+                    "return state.halted or (not queue and pending[0] < 0)"
+                )
+            fns = ", ".join(
+                f"{name!r}: {self._fn_names[name]}"
+                for name in sorted(self.image.callables)
+            )
+            out.line("return {")
+            with out.indented():
+                out.line(f"'fns': {{{fns}}},")
+                out.line("'drain': drain, 'deliver': deliver, "
+                         "'settled': settled,")
+                out.line("'queue': queue, 'pending': pending,")
+            out.line("}")
+        return out.text()
+
+
+def generate_kernel_source(
+    image: "ProgramImage",
+    plan: ExecutionPlan,
+    fingerprint: str | None = None,
+) -> str:
+    """Emit the fused per-round kernel of one (image, plan) as Python source.
+
+    The emission is deterministic: the same image and plan produce
+    byte-identical source (names are assigned in sorted/traversal order and
+    no environmental state leaks in), which the golden dump test pins.
+    """
+    return _KernelEmitter(image, plan).emit(fingerprint)
+
+
+# --------------------------------------------------------------------------- #
+# The process-wide kernel cache
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class CompiledKernel:
+    """One materialised kernel: fingerprint, source text and factory."""
+
+    fingerprint: str
+    source: str
+    make: Callable
+
+    def instantiate(self, state, plan: ExecutionPlan) -> dict:
+        """Bind the kernel to one executor's live state and plan tables."""
+        return self.make(state, plan)
+
+
+@dataclass
+class KernelCacheStatistics:
+    """Counters of the process-wide kernel memo (plus store round-trips)."""
+
+    #: served straight from the in-process memo (no codegen, no exec).
+    memory_hits: int = 0
+    #: source served by a kernel store and exec'd (no codegen).
+    disk_hits: int = 0
+    #: full code generations.
+    codegens: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.codegens
+
+
+_MEMO: dict[str, CompiledKernel] = {}
+_STATISTICS = KernelCacheStatistics()
+
+
+def kernel_cache_statistics() -> KernelCacheStatistics:
+    """The live process-wide kernel cache counters."""
+    return _STATISTICS
+
+
+def reset_kernel_cache() -> None:
+    """Empty the memo and zero the counters (tests and benchmarks)."""
+    global _STATISTICS
+    _MEMO.clear()
+    _STATISTICS = KernelCacheStatistics()
+
+
+def _materialise(fingerprint: str, source: str) -> CompiledKernel:
+    namespace: dict[str, Any] = {"np": np, "deque": deque}
+    code = compile(source, f"<kernel {fingerprint[:12]}>", "exec")
+    exec(code, namespace)
+    return CompiledKernel(fingerprint, source, namespace["make_kernel"])
+
+
+def _dump(fingerprint: str, source: str) -> None:
+    directory = os.environ.get(DUMP_ENV_VAR, "").strip()
+    if not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"kernel_{fingerprint[:12]}.py")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(source)
+
+
+def get_kernel(
+    image: "ProgramImage",
+    plan: ExecutionPlan,
+    store=None,
+) -> CompiledKernel:
+    """The compiled kernel of one (image, plan), cached by fingerprint.
+
+    Lookup order: the in-process memo, then ``store`` (any object with
+    ``get(fingerprint) -> str | None`` and ``put(fingerprint, source)`` —
+    see :class:`repro.service.kernels.KernelSourceStore`), then a fresh
+    code generation (which populates the store).  Raises
+    :class:`KernelCodegenError` when the program cannot be fused; nothing
+    is cached in that case.
+    """
+    fingerprint = kernel_fingerprint(image, plan)
+    kernel = _MEMO.get(fingerprint)
+    if kernel is not None:
+        _STATISTICS.memory_hits += 1
+        return kernel
+    source = store.get(fingerprint) if store is not None else None
+    if source is not None:
+        _STATISTICS.disk_hits += 1
+    else:
+        source = generate_kernel_source(image, plan, fingerprint)
+        _STATISTICS.codegens += 1
+        if store is not None:
+            store.put(fingerprint, source)
+    _dump(fingerprint, source)
+    kernel = _materialise(fingerprint, source)
+    _MEMO[fingerprint] = kernel
+    return kernel

@@ -1,6 +1,6 @@
 """Pluggable execution backends for the WSE fabric simulator.
 
-Three backends ship in-tree, all replaying the same pre-compiled
+Four backends ship in-tree, all replaying the same pre-compiled
 :class:`~repro.wse.plan.ExecutionPlan`:
 
 * ``reference`` — the original per-PE Python interpreter
@@ -10,6 +10,11 @@ Three backends ship in-tree, all replaying the same pre-compiled
   (:mod:`repro.wse.executors.vectorized`): interprets the SPMD program image
   once and executes every csl-ir op as whole-grid NumPy array math.
   Bit-identical to the reference and several times faster at 8×8+ grids.
+* ``compiled`` — the generated-kernel executor
+  (:mod:`repro.wse.executors.compiled`): code-generates the whole delivery
+  round from the plan into one fused Python/NumPy function
+  (:mod:`repro.wse.codegen`), cached process-wide by content fingerprint.
+  Bit-identical to ``vectorized`` and the fastest single-process backend.
 * ``tiled`` — the sharded multiprocess executor
   (:mod:`repro.wse.executors.tiled`): partitions the fabric into K×K shards
   run on forked worker processes over shared-memory buffers, with per-round
@@ -34,6 +39,7 @@ from repro.wse.executors.base import (
 )
 
 # Importing the backend modules registers them.
+from repro.wse.executors.compiled import CompiledExecutor
 from repro.wse.executors.reference import ReferenceExecutor
 from repro.wse.executors.tiled import TiledExecutor
 from repro.wse.executors.vectorized import VectorizedExecutor
@@ -41,6 +47,7 @@ from repro.wse.executors.vectorized import VectorizedExecutor
 __all__ = [
     "DEFAULT_EXECUTOR",
     "EXECUTOR_ENV_VAR",
+    "CompiledExecutor",
     "Executor",
     "ReferenceExecutor",
     "SimulationStatistics",

@@ -1,0 +1,95 @@
+"""The compiled backend: one generated, fused per-round kernel.
+
+Where the ``vectorized`` backend still *interprets* the csl-ir program once
+per delivery round (dict dispatch per op, slice construction per DSD
+operand, fresh staging arrays per exchange), this backend asks
+:mod:`repro.wse.codegen` to walk the :class:`~repro.wse.plan.ExecutionPlan`
+once and emit the whole round as a single Python/NumPy function: straight
+-line task bodies, bind-time hoisted DSD views, ``out=``-form ufuncs and
+preallocated exchange staging.  The generated kernel is cached process-wide
+by its content fingerprint (and optionally through a service-level source
+store), so repeated simulations of the same program pay code generation
+exactly once.
+
+The numerical semantics are the interpreter's, statement for statement —
+fields and :class:`~repro.wse.executors.base.SimulationStatistics` stay
+bit-identical to ``vectorized`` (the golden equivalence tests pin this).
+
+Programs using constructs the generator does not fuse (none the pipeline
+emits, but hand-built test images can) fall back to plain vectorized
+interpretation; :attr:`CompiledExecutor.fallback_reason` records why.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ir.exceptions import InterpretationError
+from repro.wse.codegen import KernelCodegenError, get_kernel
+from repro.wse.executors.base import register_executor
+from repro.wse.executors.vectorized import VectorizedExecutor
+from repro.wse.interpreter import ProgramImage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wse.plan import ExecutionPlan
+
+
+@register_executor
+class CompiledExecutor(VectorizedExecutor):
+    """Run the fused generated kernel; interpret only as a fallback."""
+
+    name = "compiled"
+
+    def __init__(
+        self,
+        image: ProgramImage,
+        width: int,
+        height: int,
+        plan: "ExecutionPlan | None" = None,
+    ):
+        super().__init__(image, width, height, plan)
+        #: the bound kernel hooks, or None when interpretation is active.
+        self.kernel: dict | None = None
+        #: why code generation was declined, for diagnostics and tests.
+        self.fallback_reason: str | None = None
+        #: content fingerprint of the generated kernel (None on fallback).
+        self.kernel_fingerprint: str | None = None
+        try:
+            compiled = get_kernel(image, self.plan)
+        except KernelCodegenError as error:
+            self.fallback_reason = str(error)
+        else:
+            self.kernel_fingerprint = compiled.fingerprint
+            self.kernel = compiled.instantiate(self.state, self.plan)
+
+    # ------------------------------------------------------------------ #
+    # Execution hooks: delegate to the kernel, fall back to the
+    # inherited vectorized interpretation when codegen declined.
+    # ------------------------------------------------------------------ #
+
+    def launch(self, entry: str | None = None) -> None:
+        if self.kernel is None:
+            super().launch(entry)
+            return
+        entry_name = entry if entry is not None else self.image.entry
+        fn = self.kernel["fns"].get(entry_name)
+        if fn is None:
+            raise InterpretationError(f"unknown function or task '{entry_name}'")
+        fn()
+        self._pending_launch = True
+
+    def _drain_tasks(self) -> None:
+        if self.kernel is None:
+            super()._drain_tasks()
+            return
+        self.kernel["drain"]()
+
+    def _all_settled(self) -> bool:
+        if self.kernel is None:
+            return super()._all_settled()
+        return self.kernel["settled"]()
+
+    def _deliver_round(self) -> int:
+        if self.kernel is None:
+            return super()._deliver_round()
+        return self.kernel["deliver"]()

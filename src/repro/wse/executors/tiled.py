@@ -29,11 +29,15 @@ Shard workers are forked, which shares the program image and plan for free;
 platforms without ``fork`` (and degenerate 1-shard grids) fall back to
 driving the shards sequentially in-process on the exact same two-phase
 schedule — bit-identical, merely not parallel.  ``REPRO_TILED_SHARDS``
-overrides the shard-grid extent K (default 2, clamped to the fabric).
+overrides the shard-grid extent K; when unset K is derived from the usable
+CPU count (one worker per CPU, square-ish) and clamped so no shard is
+thinner than :data:`MIN_SHARD_SIDE` PEs per side — below that, fork and
+barrier overhead dominate the per-shard array math.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import traceback
@@ -61,8 +65,10 @@ from repro.wse.plan import ExecutionPlan
 #: environment variable overriding the shard-grid extent (K of K×K).
 SHARD_ENV_VAR = "REPRO_TILED_SHARDS"
 
-#: default shard-grid extent: 2×2 = 4 workers.
-DEFAULT_SHARD_EXTENT = 2
+#: smallest shard side the auto heuristic will create: thinner shards pay
+#: more in fork + per-round barrier overhead than their slice of the array
+#: math is worth.
+MIN_SHARD_SIDE = 4
 
 #: ceiling on any single barrier wait / result collection (seconds); shard
 #: divergence (which SPMD uniformity rules out) surfaces as an error
@@ -70,9 +76,24 @@ DEFAULT_SHARD_EXTENT = 2
 SYNC_TIMEOUT_SECONDS = 600.0
 
 
-def shard_extent(width: int, height: int) -> int:
-    """The shard-grid extent K: ``REPRO_TILED_SHARDS`` or the default,
-    clamped so no shard is empty."""
+def usable_cpu_count() -> int:
+    """CPUs this process may actually schedule shard workers on.
+
+    Affinity-aware: plain ``os.cpu_count()`` over-reports inside
+    affinity-restricted containers, which would fork workers that only
+    time-slice one core.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def shard_extent(width: int, height: int, cpus: int | None = None) -> int:
+    """The shard-grid extent K: ``REPRO_TILED_SHARDS``, clamped so no
+    shard is empty — or, when the variable is unset, a K derived from the
+    usable CPU count (K² workers ≈ one per CPU) and the fabric (no shard
+    thinner than :data:`MIN_SHARD_SIDE` PEs per side)."""
     override = os.environ.get(SHARD_ENV_VAR, "").strip()
     if override:
         try:
@@ -87,9 +108,15 @@ def shard_extent(width: int, height: int) -> int:
                 f"invalid {SHARD_ENV_VAR}={requested}: the shard-grid extent "
                 f"must be >= 1"
             )
-    else:
-        requested = DEFAULT_SHARD_EXTENT
-    return max(1, min(requested, width, height))
+        return max(1, min(requested, width, height))
+    if cpus is None:
+        cpus = usable_cpu_count()
+    derived = min(
+        math.isqrt(max(1, cpus)),
+        width // MIN_SHARD_SIDE,
+        height // MIN_SHARD_SIDE,
+    )
+    return max(1, min(derived, width, height))
 
 
 def shard_boxes(

@@ -14,7 +14,7 @@ import pytest
 
 from repro.benchmarks import benchmark_by_name
 from repro.service.cli import main as cli_main
-from repro.service.fingerprint import compute_fingerprint
+from repro.service.fingerprint import canonical_json, compute_fingerprint
 from repro.service.run import (
     DEFAULT_MAX_ROUNDS,
     DEFAULT_RUN_SEED,
@@ -24,6 +24,7 @@ from repro.service.run import (
     run_fingerprint_payload,
 )
 from repro.transforms.pipeline import PipelineOptions
+from repro.wse.codegen import CODEGEN_VERSION
 from repro.wse.plan import PLAN_VERSION
 
 
@@ -41,11 +42,12 @@ class TestRunFingerprints:
             program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
         )
         assert payload["run"] == {
-            "schema": 1,
+            "schema": 2,
             "executor": "vectorized",
             "seed": 13,
             "max_rounds": DEFAULT_MAX_ROUNDS,
             "plan_version": PLAN_VERSION,
+            "codegen_version": CODEGEN_VERSION,
         }
         assert "program" in payload and "options" in payload
 
@@ -80,6 +82,47 @@ class TestRunFingerprints:
             program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
         ) != compute_fingerprint(program, options)
 
+    @pytest.mark.parametrize("version", ("PLAN_VERSION", "CODEGEN_VERSION"))
+    def test_semantics_version_bumps_invalidate_run_fingerprints(
+        self, monkeypatch, version
+    ):
+        """A planning- or codegen-semantics change (signalled by its
+        version constant) must re-run every cached simulation exactly
+        once — the fingerprint has to move."""
+        import repro.service.run as run_module
+
+        program, options = _config()
+        base = compute_run_fingerprint(
+            program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
+        )
+        monkeypatch.setattr(
+            run_module, version, getattr(run_module, version) + 1
+        )
+        assert base != compute_run_fingerprint(
+            program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
+        ), f"{version} bump must change the run fingerprint"
+
+    def test_fingerprint_is_insensitive_to_payload_dict_ordering(self):
+        """The hash covers canonical JSON, not dict construction order:
+        reversing every mapping in the payload must not move it."""
+
+        def reordered(value):
+            if isinstance(value, dict):
+                return {
+                    key: reordered(value[key]) for key in reversed(list(value))
+                }
+            if isinstance(value, list):
+                return [reordered(item) for item in value]
+            return value
+
+        program, options = _config()
+        payload = run_fingerprint_payload(
+            program, options, "vectorized", 13, DEFAULT_MAX_ROUNDS
+        )
+        shuffled = reordered(payload)
+        assert list(shuffled) == list(reversed(list(payload)))  # really moved
+        assert canonical_json(shuffled) == canonical_json(payload)
+
 
 class TestRunService:
     def test_cold_run_simulates_then_warm_run_hits_the_cache(self):
@@ -110,17 +153,22 @@ class TestRunService:
         assert warm == cold
 
     def test_all_backends_agree_on_field_digests(self):
-        """The end-to-end cross-check: three executors, one answer."""
+        """The end-to-end cross-check: four executors, one answer."""
         program, options = _config(grid=4)
         digests = {}
         with RunService() as service:
-            for executor in ("reference", "vectorized", "tiled"):
+            for executor in ("reference", "vectorized", "tiled", "compiled"):
                 artifact = service.run(program, options, executor=executor)
                 digests[executor] = artifact.field_digests
-            # Three distinct fingerprints (executor is a run input) ...
-            assert service.statistics.simulations == 3
+            # Four distinct fingerprints (executor is a run input) ...
+            assert service.statistics.simulations == 4
         # ... but identical simulated bytes.
-        assert digests["reference"] == digests["vectorized"] == digests["tiled"]
+        assert (
+            digests["reference"]
+            == digests["vectorized"]
+            == digests["tiled"]
+            == digests["compiled"]
+        )
 
     def test_compile_stage_is_shared_across_run_inputs(self):
         """Runs differing only in run-level inputs compile exactly once."""
@@ -164,7 +212,8 @@ class TestRunService:
             path = service.store._path(artifact.fingerprint)
             path.write_text(
                 artifact.to_json().replace(
-                    '"schema_version": 1', '"schema_version": 0'
+                    f'"schema_version": {artifact.schema_version}',
+                    '"schema_version": 0',
                 ),
                 encoding="utf-8",
             )

@@ -1,0 +1,187 @@
+"""The compiled backend's own mechanics: codegen, cache, fallback.
+
+The heavyweight numerical guarantees (byte-identical fields and statistics
+against every other backend, on every benchmark and boundary mode, plus
+the pre-plan golden digests) live in ``test_executor_equivalence.py``,
+``test_boundary_conditions.py`` and ``test_execution_plan.py``.  This file
+covers what is specific to the ``compiled`` backend itself:
+
+* **deterministic emission** — the same image and plan always produce
+  byte-identical kernel source (what makes the content fingerprint and the
+  fleet-wide source store sound), pinned through the
+  ``REPRO_COMPILED_DUMP`` debug dump;
+* **the kernel cache** — memo hits, store round-trips and their counters;
+* **the interpretation fallback** — a program the generator cannot fuse
+  still runs, bit-identical to ``vectorized``, with the reason recorded.
+"""
+
+import pytest
+
+from repro.benchmarks import benchmark_by_name
+from repro.dialects import csl
+from repro.frontends.common import BoundaryCondition
+from repro.ir.exceptions import InterpretationError
+from repro.service.kernels import KernelSourceStore
+from repro.tests_support import run_on_executor
+from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.wse.codegen import (
+    CODEGEN_VERSION,
+    DUMP_ENV_VAR,
+    KernelCodegenError,
+    generate_kernel_source,
+    get_kernel,
+    kernel_cache_statistics,
+    kernel_fingerprint,
+    reset_kernel_cache,
+)
+from repro.wse.interpreter import ProgramImage
+from repro.wse.plan import ExecutionPlan
+from repro.wse.simulator import WseSimulator
+
+
+@pytest.fixture(autouse=True)
+def _fresh_kernel_cache():
+    """Each test observes its own memo and counters."""
+    reset_kernel_cache()
+    yield
+    reset_kernel_cache()
+
+
+def _image(grid=4, name="Jacobian", steps=2):
+    benchmark = benchmark_by_name(name)
+    program = benchmark.program(nx=grid, ny=grid, nz=8, time_steps=steps)
+    result = compile_stencil_program(
+        program,
+        PipelineOptions(grid_width=grid, grid_height=grid, num_chunks=2),
+    )
+    image = ProgramImage(result.program_module)
+    plan = ExecutionPlan.compile(image, grid, grid)
+    return program, result.program_module, image, plan
+
+
+class TestDeterministicEmission:
+    def test_source_is_byte_identical_across_compiles(self):
+        """Two emissions — and two *pipeline compiles* — of the same
+        program yield the same fingerprint and the same source bytes."""
+        _, _, image, plan = _image()
+        fingerprint = kernel_fingerprint(image, plan)
+        first = generate_kernel_source(image, plan, fingerprint)
+        assert first == generate_kernel_source(image, plan, fingerprint)
+        _, _, again_image, again_plan = _image()
+        assert kernel_fingerprint(again_image, again_plan) == fingerprint
+        assert generate_kernel_source(
+            again_image, again_plan, fingerprint
+        ) == first
+
+    def test_dump_emits_deterministic_golden_source(self, monkeypatch, tmp_path):
+        """``REPRO_COMPILED_DUMP`` writes the kernel beside the cache; a
+        second cold compile rewrites byte-identical contents."""
+        monkeypatch.setenv(DUMP_ENV_VAR, str(tmp_path))
+        _, _, image, plan = _image()
+        kernel = get_kernel(image, plan)
+        dumped = tmp_path / f"kernel_{kernel.fingerprint[:12]}.py"
+        assert dumped.is_file()
+        golden = dumped.read_bytes()
+        assert golden.decode("utf-8") == kernel.source
+        dumped.unlink()
+        reset_kernel_cache()  # force a genuine re-codegen, not a memo hit
+        again = get_kernel(image, plan)
+        assert again.fingerprint == kernel.fingerprint
+        assert dumped.read_bytes() == golden
+        assert kernel_cache_statistics().codegens == 1  # post-reset count
+
+    def test_fingerprint_tracks_plan_and_codegen_version(self, monkeypatch):
+        _, _, image, plan = _image()
+        base = kernel_fingerprint(image, plan)
+        periodic = ExecutionPlan.compile(
+            image,
+            plan.width,
+            plan.height,
+            boundary=BoundaryCondition.periodic(),
+        )
+        assert kernel_fingerprint(image, periodic) != base
+        monkeypatch.setattr(
+            "repro.wse.codegen.CODEGEN_VERSION", CODEGEN_VERSION + 1
+        )
+        assert kernel_fingerprint(image, plan) != base
+
+
+class TestKernelCache:
+    def test_memo_hits_skip_codegen(self):
+        _, _, image, plan = _image()
+        kernel = get_kernel(image, plan)
+        assert get_kernel(image, plan) is kernel
+        statistics = kernel_cache_statistics()
+        assert statistics.codegens == 1
+        assert statistics.memory_hits == 1
+        assert statistics.disk_hits == 0
+        assert statistics.hits == 1 and statistics.lookups == 2
+
+    def test_store_round_trip_is_a_disk_hit(self, tmp_path):
+        store = KernelSourceStore(tmp_path)
+        _, _, image, plan = _image()
+        kernel = get_kernel(image, plan, store=store)
+        assert kernel.fingerprint in store
+        reset_kernel_cache()  # a "new process": memo gone, store warm
+        served = get_kernel(image, plan, store=store)
+        statistics = kernel_cache_statistics()
+        assert statistics.disk_hits == 1
+        assert statistics.codegens == 0
+        assert served.source == kernel.source
+
+    def test_executors_of_one_program_share_one_kernel(self):
+        _, module, _, _ = _image()
+        WseSimulator(module, executor="compiled")
+        WseSimulator(module, executor="compiled")
+        statistics = kernel_cache_statistics()
+        assert statistics.codegens == 1
+        assert statistics.memory_hits == 1
+
+
+class TestFallback:
+    def test_unsupported_op_refuses_fusion(self):
+        """An op the interpreter rejects too (DSD rebasing) must surface
+        as a KernelCodegenError, not generate broken source."""
+        _, _, image, plan = _image(grid=3, steps=1)
+        target = next(
+            op
+            for func in image.callables.values()
+            for op in func.body_block.ops
+            if isinstance(op, csl.GetMemDsdOp)
+        )
+        rebase = csl.SetDsdBaseAddrOp(target.result, target.result)
+        target.parent.insert_op_after(rebase, target)
+        with pytest.raises(
+            KernelCodegenError, match="unsupported operation 'csl.set_dsd"
+        ):
+            generate_kernel_source(image, plan)
+
+    def test_codegen_decline_falls_back_to_interpretation(self, monkeypatch):
+        """When codegen declines, the backend records why and interprets —
+        bit-identical fields and statistics to ``vectorized``."""
+        import repro.wse.executors.compiled as compiled_module
+
+        def declined(image, plan, store=None):
+            raise KernelCodegenError("test: declined")
+
+        monkeypatch.setattr(compiled_module, "get_kernel", declined)
+        program, module, _, _ = _image()
+        simulator = WseSimulator(module, executor="compiled")
+        assert simulator.executor.kernel is None
+        assert simulator.executor.fallback_reason == "test: declined"
+        assert simulator.executor.kernel_fingerprint is None
+        fields, statistics = run_on_executor("compiled", program, module)
+        expected_fields, expected_statistics = run_on_executor(
+            "vectorized", program, module
+        )
+        for name, expected in expected_fields.items():
+            assert fields[name].tobytes() == expected.tobytes()
+        assert statistics == expected_statistics
+
+    def test_unknown_entry_diagnosis_matches_the_interpreter(self):
+        _, module, _, _ = _image(grid=3, steps=1)
+        simulator = WseSimulator(module, executor="compiled")
+        with pytest.raises(
+            InterpretationError, match="unknown function or task 'nope'"
+        ):
+            simulator.launch("nope")

@@ -162,11 +162,12 @@ PRE_PLAN_GOLDEN_DIGESTS = {
 }
 
 
+@pytest.mark.parametrize("executor", ("vectorized", "compiled"))
 @pytest.mark.parametrize(
     ("name", "mode", "field_name"), sorted(PRE_PLAN_GOLDEN_DIGESTS)
 )
-def test_plan_consuming_vectorized_matches_pre_plan_golden_fields(
-    name, mode, field_name
+def test_plan_consuming_executors_match_pre_plan_golden_fields(
+    name, mode, field_name, executor
 ):
     benchmark = benchmark_by_name(name)
     grid = 9 if benchmark.stencil_points >= 25 else 6
@@ -178,9 +179,9 @@ def test_plan_consuming_vectorized_matches_pre_plan_golden_fields(
         boundary=BoundaryCondition.parse(mode),
     )
     result = compile_stencil_program(program, options)
-    fields, _ = run_on_executor("vectorized", program, result.program_module)
+    fields, _ = run_on_executor(executor, program, result.program_module)
     digest = hashlib.sha256(fields[field_name].tobytes()).hexdigest()[:32]
     assert digest == PRE_PLAN_GOLDEN_DIGESTS[(name, mode, field_name)], (
-        f"plan-consuming vectorized diverged from the pre-plan golden bytes "
-        f"on {name}/{mode} field '{field_name}'"
+        f"plan-consuming '{executor}' diverged from the pre-plan golden "
+        f"bytes on {name}/{mode} field '{field_name}'"
     )

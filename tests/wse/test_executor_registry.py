@@ -18,6 +18,7 @@ from repro.frontends.common import (
 from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
 from repro.wse.executors import (
     EXECUTOR_ENV_VAR,
+    CompiledExecutor,
     Executor,
     ReferenceExecutor,
     TiledExecutor,
@@ -46,11 +47,17 @@ def program_module():
 
 
 class TestRegistryErrors:
-    def test_all_three_backends_are_registered(self):
-        assert available_executors() == ("reference", "tiled", "vectorized")
+    def test_all_four_backends_are_registered(self):
+        assert available_executors() == (
+            "compiled",
+            "reference",
+            "tiled",
+            "vectorized",
+        )
         assert executor_by_name("reference") is ReferenceExecutor
         assert executor_by_name("vectorized") is VectorizedExecutor
         assert executor_by_name("tiled") is TiledExecutor
+        assert executor_by_name("compiled") is CompiledExecutor
 
     def test_unknown_name_lists_every_registered_backend(self):
         with pytest.raises(KeyError, match="unknown executor 'warp'") as excinfo:

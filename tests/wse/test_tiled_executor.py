@@ -74,9 +74,33 @@ class TestShardGeometry:
 
     def test_extent_clamps_to_the_fabric(self, monkeypatch):
         monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
-        assert shard_extent(1, 1) == 1
-        assert shard_extent(8, 1) == 1
-        assert shard_extent(8, 8) == 2
+        assert shard_extent(1, 1, cpus=16) == 1
+        assert shard_extent(8, 1, cpus=16) == 1
+        assert shard_extent(8, 8, cpus=4) == 2
+
+    def test_extent_auto_derives_from_usable_cpus(self, monkeypatch):
+        """Unset env: K² workers ≈ one per CPU, but never shards thinner
+        than MIN_SHARD_SIDE PEs per side and never more than one shard
+        per CPU's worth of parallelism."""
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        assert shard_extent(64, 64, cpus=1) == 1  # no CPUs, no forking
+        assert shard_extent(64, 64, cpus=4) == 2
+        assert shard_extent(64, 64, cpus=9) == 3
+        assert shard_extent(64, 64, cpus=16) == 4
+        assert shard_extent(64, 64, cpus=8) == 2  # isqrt, not ceil
+        # A wide but shallow fabric cannot host square-ish worker grids.
+        assert shard_extent(64, 4, cpus=16) == 1
+        # Plenty of CPUs never splits shards below MIN_SHARD_SIDE.
+        assert shard_extent(8, 8, cpus=64) == 2
+
+    def test_auto_extent_reaches_the_executor(self, monkeypatch):
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        monkeypatch.setattr(
+            "repro.wse.executors.tiled.usable_cpu_count", lambda: 4
+        )
+        _, module = _compiled(8, 8, name="auto_extent")
+        simulator = WseSimulator(module, executor="tiled")
+        assert len(simulator.executor.boxes) == 4  # 2x2 from 4 CPUs
 
     def test_env_override_and_validation(self, monkeypatch):
         monkeypatch.setenv(SHARD_ENV_VAR, "3")
@@ -143,7 +167,7 @@ class TestRepeatedExecution:
         resume from it (fields AND statistics), not restart the program."""
         program, module = _compiled(4, 4, name="twice")
         results = {}
-        for executor in ("reference", "vectorized", "tiled"):
+        for executor in ("reference", "vectorized", "tiled", "compiled"):
             simulator = WseSimulator(module, executor=executor)
             z = simulator.pe(0, 0).buffers["u"].shape[0]
             simulator.load_field("u", np.ones((4, 4, z), dtype=np.float32))
@@ -154,12 +178,14 @@ class TestRepeatedExecution:
                 simulator.statistics,
             )
         reference_fields, reference_stats = results["reference"]
-        for executor in ("vectorized", "tiled"):
+        for executor in ("vectorized", "tiled", "compiled"):
             fields, stats = results[executor]
             assert fields == reference_fields
             assert stats == reference_stats
 
-    @pytest.mark.parametrize("executor", ("reference", "vectorized", "tiled"))
+    @pytest.mark.parametrize(
+        "executor", ("reference", "vectorized", "tiled", "compiled")
+    )
     def test_run_without_new_launch_is_a_settled_no_op(self, executor):
         """On every backend alike: no launch since the last run means the
         statistics come back unchanged and fields stay untouched."""
