@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench sim-bench service service-smoke run-service-check boundary-check lint
+.PHONY: test bench sim-bench service service-smoke run-service-check queue-check boundary-check lint
 
 # Tier-1 verification: the whole suite, fail fast.
 test:
@@ -40,6 +40,22 @@ run-service-check:
 	REPRO_CACHE_DIR=$$(mktemp -d) sh -c '\
 	  $(PYTHON) -m repro.service run Jacobian UVKBE --grid 4x4 --nz 8 --time-steps 1 --repeat 2 && \
 	  $(PYTHON) -m repro.service run Jacobian --grid 4x4 --nz 8 --time-steps 1 --executor tiled && \
+	  $(PYTHON) -m repro.service stats && \
+	  $(PYTHON) -m repro.service purge'
+
+# Async run queue: the queue test suite (lifecycle, store, daemon,
+# experiments, crash recovery, the 16-job acceptance batch) plus the
+# warm>=5x-cold queue-throughput assertion, then a CLI smoke path: submit
+# a batch through the queue, resubmit it (served from the run cache),
+# inspect both the queue store and the combined stats table, purge.
+queue-check:
+	$(PYTHON) -m pytest tests/service/queue \
+	  benchmarks/test_queue_throughput.py -q
+	REPRO_CACHE_DIR=$$(mktemp -d) sh -c '\
+	  $(PYTHON) -m repro.service queue submit Jacobian UVKBE --grid 4x4 --nz 8 --time-steps 1 --inline && \
+	  $(PYTHON) -m repro.service queue submit Jacobian UVKBE --grid 4x4 --nz 8 --time-steps 1 --inline && \
+	  $(PYTHON) -m repro.service queue list && \
+	  $(PYTHON) -m repro.service queue stats && \
 	  $(PYTHON) -m repro.service stats && \
 	  $(PYTHON) -m repro.service purge'
 

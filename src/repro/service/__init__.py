@@ -12,8 +12,11 @@ Layered on top of the one-shot ``compile_stencil_program``:
   (compile → simulate → field digests) content-addressed by run
   fingerprints that fold in the executor, seed, round budget and
   execution-plan version;
+* :mod:`repro.service.queue` — :class:`JobQueue`, the async run-queue
+  daemon: persistent SQLite-backed jobs with an explicit lifecycle state
+  machine, a crash-isolated worker pool and named resumable experiments;
 * :mod:`repro.service.cli` — ``python -m repro.service`` batch front door
-  (``compile`` / ``run`` / ``stats`` / ``purge``).
+  (``compile`` / ``run`` / ``queue`` / ``stats`` / ``purge``).
 """
 
 from repro.service.cache import (
@@ -25,6 +28,15 @@ from repro.service.cache import (
     REPRO_CACHE_DIR_ENV,
 )
 from repro.service.fingerprint import canonical_json, compute_fingerprint
+from repro.service.queue import (
+    Experiment,
+    JobHandle,
+    JobQueue,
+    JobStatus,
+    JobStore,
+    SweepConfig,
+    WorkerPool,
+)
 from repro.service.run import (
     RunArtifact,
     RunArtifactStore,
@@ -48,13 +60,20 @@ __all__ = [
     "CompileService",
     "CompiledArtifact",
     "DiskArtifactCache",
+    "Experiment",
     "InMemoryArtifactCache",
+    "JobHandle",
+    "JobQueue",
+    "JobStatus",
+    "JobStore",
     "REPRO_CACHE_DIR_ENV",
     "RunArtifact",
     "RunArtifactStore",
     "RunService",
     "RunServiceStatistics",
     "ServiceStatistics",
+    "SweepConfig",
+    "WorkerPool",
     "build_artifact",
     "canonical_json",
     "compute_fingerprint",

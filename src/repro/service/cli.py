@@ -1,6 +1,6 @@
 """``python -m repro.service`` — batch compilation and simulation front door.
 
-Four subcommands:
+Five subcommands:
 
 * ``compile BENCH [BENCH ...]`` — compile named paper benchmarks through the
   service (optionally in parallel and/or repeated to show warm-cache reuse)
@@ -8,8 +8,11 @@ Four subcommands:
 * ``run BENCH [BENCH ...]`` — end-to-end run jobs: compile, simulate on a
   chosen execution backend, and print the per-field result digests; repeats
   are served from the run-artifact cache;
-* ``stats`` — describe the on-disk artifact stores (compile + run +
-  generated ``compiled``-backend kernels);
+* ``queue submit|status|wait|list|cancel|stats`` — the async job-queue run
+  service (:mod:`repro.service.queue.cli`): persistent jobs, lifecycle
+  tracking, worker pool, experiments;
+* ``stats`` — one combined table across the compile/run/kernel/queue
+  stores (entries, bytes, hit rates);
 * ``purge`` — empty the on-disk artifact stores.
 """
 
@@ -133,8 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="delivery-round budget (part of the run fingerprint)",
     )
 
+    from repro.service.queue.cli import add_queue_parser
+
+    add_queue_parser(subparsers)
+
     stats_parser = subparsers.add_parser(
-        "stats", help="describe the on-disk artifact stores"
+        "stats", help="one combined table across all artifact stores"
     )
     stats_parser.add_argument("--cache-dir", default=None)
 
@@ -257,36 +264,76 @@ def _run_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _format_rate(hits: int, misses: int) -> str:
+    total = hits + misses
+    return f"{hits / total:.0%}" if total else "-"
+
+
 def _run_stats(args: argparse.Namespace, out) -> int:
+    from repro.service.queue.store import JobStore
+
     store = DiskArtifactCache(args.cache_dir)
     runs = RunArtifactStore(args.cache_dir)
     kernels = KernelSourceStore(args.cache_dir)
+    queue = JobStore(args.cache_dir)
     cache = kernel_cache_statistics()
+    queue_stats = queue.stats()
+
+    # One combined table across every store.  Hits/misses are the counters
+    # each store persists or tracks in-process: the kernel cache counts this
+    # process's lookups; the queue counts done jobs served from the run
+    # cache vs. freshly simulated (persistent); the compile and run stores
+    # keep no cross-process hit counters, so those cells stay "-".
+    rows = [
+        ("store", "entries", "bytes", "hits", "misses", "hit rate"),
+        ("compile", len(store), store.total_bytes(), "-", "-", "-"),
+        ("run", len(runs), runs.total_bytes(), "-", "-", "-"),
+        (
+            "kernel",
+            len(kernels),
+            kernels.total_bytes(),
+            cache.hits,
+            cache.codegens,
+            _format_rate(cache.hits, cache.codegens),
+        ),
+        (
+            "queue",
+            queue_stats.jobs,
+            queue_stats.total_bytes,
+            queue_stats.cache_served,
+            queue_stats.simulated,
+            _format_rate(queue_stats.cache_served, queue_stats.simulated),
+        ),
+    ]
+    widths = [
+        max(len(str(row[column])) for row in rows)
+        for column in range(len(rows[0]))
+    ]
+    for row in rows:
+        cells = [str(row[0]).ljust(widths[0])] + [
+            str(cell).rjust(width)
+            for cell, width in zip(row[1:], widths[1:])
+        ]
+        print("  ".join(cells).rstrip(), file=out)
     print(f"artifact store: {store.directory}", file=out)
-    print(f"  artifacts: {len(store)}", file=out)
-    print(f"  bytes:     {store.total_bytes()}", file=out)
     print(f"run store:      {runs.directory}", file=out)
-    print(f"  artifacts: {len(runs)}", file=out)
-    print(f"  bytes:     {runs.total_bytes()}", file=out)
     print(f"kernel store:   {kernels.directory}", file=out)
-    print(f"  kernels:   {len(kernels)}", file=out)
-    print(f"  bytes:     {kernels.total_bytes()}", file=out)
-    print(
-        f"  this process: hits {cache.hits} (memory {cache.memory_hits}, "
-        f"store {cache.disk_hits})  codegens {cache.codegens}",
-        file=out,
-    )
+    print(f"queue store:    {queue.path}", file=out)
     return 0
 
 
 def _run_purge(args: argparse.Namespace, out) -> int:
+    from repro.service.queue.store import JobStore
+
     store = DiskArtifactCache(args.cache_dir)
     removed = store.purge()
     runs_removed = RunArtifactStore(args.cache_dir).purge()
     kernels_removed = KernelSourceStore(args.cache_dir).purge()
+    jobs_removed = JobStore(args.cache_dir).purge()
     print(f"purged {removed} artifacts from {store.directory}", file=out)
     print(f"purged {runs_removed} run artifacts", file=out)
     print(f"purged {kernels_removed} kernel sources", file=out)
+    print(f"purged {jobs_removed} queue jobs", file=out)
     return 0
 
 
@@ -296,6 +343,10 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         return _run_compile(args, out)
     if args.command == "run":
         return _run_run(args, out)
+    if args.command == "queue":
+        from repro.service.queue.cli import run_queue_command
+
+        return run_queue_command(args, out)
     if args.command == "stats":
         return _run_stats(args, out)
     if args.command == "purge":

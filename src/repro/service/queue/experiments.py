@@ -1,0 +1,146 @@
+"""Named experiments: a sweep of run configs submitted as one group.
+
+An experiment is nothing more than a name stamped on its jobs — the
+grouping lives entirely in the persistent job store, so a sweep survives
+the daemon and its progress is queryable from any process (the CLI's
+``queue list`` rolls experiments up the same way).  What the grouping
+buys:
+
+* **aggregate progress** — one :class:`ExperimentProgress` snapshot over
+  however many jobs the sweep contains;
+* **resumability** — resubmitting an experiment re-walks the same
+  configs, and every fingerprint whose artifact the run cache already
+  holds is recorded as ``done`` without queueing (``JobQueue.submit``'s
+  ``reuse_cached`` path), so an interrupted 1000-run sweep only re-pays
+  the runs that never finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.frontends.common import StencilProgram
+from repro.service.queue.lifecycle import JobStatus, TERMINAL_STATES
+from repro.transforms.pipeline import PipelineOptions
+
+if TYPE_CHECKING:  # avoid a runtime cycle with daemon.py
+    from repro.service.queue.daemon import JobHandle, JobQueue
+    from repro.service.run import RunArtifact
+
+
+@dataclass
+class SweepConfig:
+    """One point of a sweep; unset fields inherit the experiment-wide
+    defaults passed to ``JobQueue.submit_experiment``."""
+
+    program: StencilProgram
+    options: PipelineOptions | None = None
+    executor: str | None = None
+    seed: int | None = None
+    max_rounds: int | None = None
+
+
+def normalize_configs(configs: Iterable) -> list[SweepConfig]:
+    """Accept bare programs, ``(program, options)`` pairs, or full
+    :class:`SweepConfig` objects."""
+    normalized = []
+    for config in configs:
+        if isinstance(config, SweepConfig):
+            normalized.append(config)
+        elif isinstance(config, StencilProgram):
+            normalized.append(SweepConfig(program=config))
+        elif isinstance(config, tuple) and len(config) == 2:
+            normalized.append(SweepConfig(program=config[0], options=config[1]))
+        else:
+            raise TypeError(
+                f"sweep configs must be StencilProgram, (program, options) "
+                f"pairs or SweepConfig, got {type(config).__name__}"
+            )
+    if not normalized:
+        raise ValueError("an experiment needs at least one config")
+    return normalized
+
+
+@dataclass(frozen=True)
+class ExperimentProgress:
+    """A point-in-time status rollup of one experiment."""
+
+    name: str
+    counts: dict[JobStatus, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def finished(self) -> int:
+        return sum(self.counts[status] for status in TERMINAL_STATES)
+
+    @property
+    def done(self) -> bool:
+        return self.finished == self.total
+
+    @property
+    def fraction(self) -> float:
+        return self.finished / self.total if self.total else 1.0
+
+    def format(self) -> str:
+        populated = "  ".join(
+            f"{status.value} {count}"
+            for status, count in sorted(
+                self.counts.items(), key=lambda item: item[0].value
+            )
+            if count
+        )
+        return (
+            f"{self.name}: {self.finished}/{self.total} finished "
+            f"({populated or 'empty'})"
+        )
+
+
+class Experiment:
+    """A live handle over one named sweep's jobs."""
+
+    def __init__(
+        self, name: str, queue: "JobQueue", handles: Sequence["JobHandle"]
+    ):
+        self.name = name
+        self.queue = queue
+        self.handles = list(handles)
+
+    @property
+    def job_ids(self) -> list[int]:
+        return [handle.job_id for handle in self.handles]
+
+    def progress(self) -> ExperimentProgress:
+        statuses = self.queue.store.statuses(self.job_ids)
+        counts = {status: 0 for status in JobStatus}
+        for status in statuses.values():
+            counts[status] += 1
+        return ExperimentProgress(name=self.name, counts=counts)
+
+    def wait(
+        self, timeout: float | None = None, poll: float = 0.02
+    ) -> ExperimentProgress:
+        """Block until every job is terminal; returns the final rollup."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            progress = self.progress()
+            if progress.done:
+                return progress
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"experiment {self.name!r}: "
+                    f"{progress.total - progress.finished} job(s) still "
+                    f"pending after {timeout} s"
+                )
+            time.sleep(poll)
+
+    def results(self, timeout: float | None = None) -> "list[RunArtifact]":
+        """Every job's artifact, in submission order (raises on the first
+        failed/cancelled job)."""
+        self.wait(timeout)
+        return [handle.result() for handle in self.handles]

@@ -29,8 +29,10 @@ import os
 import tempfile
 import threading
 from concurrent.futures import Future
-from dataclasses import asdict, dataclass, replace
+from dataclasses import MISSING as dataclasses_MISSING
+from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -142,12 +144,46 @@ class RunArtifact:
 
     @classmethod
     def from_json(cls, text: str) -> "RunArtifact":
+        """Parse one stored artifact, strictly.
+
+        A document from a different (or absent) schema version, or whose
+        field set does not match this dataclass exactly, is rejected with
+        an error naming the mismatch — never half-constructed: a partial
+        artifact entering a digest comparison would turn a format skew
+        into a phantom correctness result.
+        """
         data = json.loads(text)
-        if data.get("schema_version") != RUN_SCHEMA_VERSION:
+        if not isinstance(data, dict):
             raise ValueError(
-                f"run artifact schema {data.get('schema_version')!r} does not "
+                f"run artifact must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        if "schema_version" not in data:
+            raise ValueError(
+                "run artifact has no schema_version field; refusing to "
+                f"guess (current version is {RUN_SCHEMA_VERSION})"
+            )
+        if data["schema_version"] != RUN_SCHEMA_VERSION:
+            raise ValueError(
+                f"run artifact schema {data['schema_version']!r} does not "
                 f"match current version {RUN_SCHEMA_VERSION}"
             )
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"run artifact carries unknown fields {unknown} "
+                f"(schema version matches but the document does not; "
+                f"corrupt or hand-edited artifact?)"
+            )
+        required = {
+            field.name
+            for field in fields(cls)
+            if field.default is dataclasses_MISSING
+        }
+        missing = sorted(required - set(data))
+        if missing:
+            raise ValueError(f"run artifact is missing fields {missing}")
         return cls(**data)
 
 
@@ -237,6 +273,8 @@ class RunServiceStatistics:
     cache_hits: int = 0
     #: end-to-end executions (compile stage may still be a compile-cache hit).
     simulations: int = 0
+    #: batch submissions folded into an identical job in the same batch.
+    deduplicated: int = 0
 
 
 class RunService:
@@ -271,16 +309,15 @@ class RunService:
     # Submission
     # ------------------------------------------------------------------ #
 
-    def submit(
-        self,
+    @staticmethod
+    def _prepare(
         program: StencilProgram,
-        options: PipelineOptions | None = None,
-        *,
-        executor: str | None = None,
-        seed: int = DEFAULT_RUN_SEED,
-        max_rounds: int = DEFAULT_MAX_ROUNDS,
-    ) -> "Future[RunArtifact]":
-        """A future for the run artifact of one configuration.
+        options: PipelineOptions | None,
+        executor: str | None,
+        seed: int,
+        max_rounds: int,
+    ) -> tuple[PipelineOptions, str, str]:
+        """Resolve defaults and compute the run fingerprint of one job.
 
         The executor name is validated up front (unknown names raise the
         registry error naming the alternatives) and resolved into the
@@ -295,6 +332,28 @@ class RunService:
         executor_by_name(executor_name)  # fail fast on unknown backends
         fingerprint = compute_run_fingerprint(
             program, options, executor_name, seed, max_rounds
+        )
+        return options, executor_name, fingerprint
+
+    def submit(
+        self,
+        program: StencilProgram,
+        options: PipelineOptions | None = None,
+        *,
+        executor: str | None = None,
+        seed: int = DEFAULT_RUN_SEED,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        on_stage: "Callable[[str], None] | None" = None,
+    ) -> "Future[RunArtifact]":
+        """A future for the run artifact of one configuration.
+
+        ``on_stage`` (when given) is called with ``"compiling"``,
+        ``"running"`` and ``"digesting"`` as a cache-miss execution enters
+        each stage — a run-cache hit fires none of them.  The queue's
+        workers hang their lifecycle transitions off it.
+        """
+        options, executor_name, fingerprint = self._prepare(
+            program, options, executor, seed, max_rounds
         )
 
         future: "Future[RunArtifact]" = Future()
@@ -313,7 +372,13 @@ class RunService:
 
         try:
             artifact = self._execute(
-                program, options, executor_name, seed, max_rounds, fingerprint
+                program,
+                options,
+                executor_name,
+                seed,
+                max_rounds,
+                fingerprint,
+                on_stage=on_stage,
             )
         except BaseException as error:
             future.set_exception(error)
@@ -331,18 +396,53 @@ class RunService:
         executor: str | None = None,
         seed: int = DEFAULT_RUN_SEED,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
+        queue=None,
+        experiment: str | None = None,
     ) -> "list[Future[RunArtifact]]":
-        """Run a batch of configurations; one future per input, in order."""
-        return [
-            self.submit(
+        """Run a batch of configurations; one future per input, in order.
+
+        Identical fingerprints within the batch are deduplicated: a sweep
+        with repeated configs executes each distinct run once and the
+        repeats share its future.  With ``queue`` (a
+        :class:`~repro.service.queue.JobQueue`), the batch is routed
+        through the async queue instead of executing inline — callers keep
+        the same future-list interface while the daemon's worker pool does
+        the work (``experiment`` names the group in the job store).
+        """
+        if queue is not None:
+            return [
+                queue.submit(
+                    program,
+                    options,
+                    executor=executor,
+                    seed=seed,
+                    max_rounds=max_rounds,
+                    experiment=experiment,
+                ).future()
+                for program, options in jobs
+            ]
+        futures: "list[Future[RunArtifact]]" = []
+        seen: "dict[str, Future[RunArtifact]]" = {}
+        for program, options in jobs:
+            _, executor_name, fingerprint = self._prepare(
+                program, options, executor, seed, max_rounds
+            )
+            duplicate = seen.get(fingerprint)
+            if duplicate is not None:
+                with self._lock:
+                    self.statistics.deduplicated += 1
+                futures.append(duplicate)
+                continue
+            future = self.submit(
                 program,
                 options,
-                executor=executor,
+                executor=executor_name,
                 seed=seed,
                 max_rounds=max_rounds,
             )
-            for program, options in jobs
-        ]
+            seen[fingerprint] = future
+            futures.append(future)
+        return futures
 
     def run(
         self,
@@ -352,10 +452,16 @@ class RunService:
         executor: str | None = None,
         seed: int = DEFAULT_RUN_SEED,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
+        on_stage: "Callable[[str], None] | None" = None,
     ) -> RunArtifact:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(
-            program, options, executor=executor, seed=seed, max_rounds=max_rounds
+            program,
+            options,
+            executor=executor,
+            seed=seed,
+            max_rounds=max_rounds,
+            on_stage=on_stage,
         ).result()
 
     # ------------------------------------------------------------------ #
@@ -370,7 +476,10 @@ class RunService:
         seed: int,
         max_rounds: int,
         fingerprint: str,
+        on_stage: "Callable[[str], None] | None" = None,
     ) -> RunArtifact:
+        notify = on_stage or (lambda stage: None)
+        notify("compiling")
         result = self.compiler.compile_ir(program, options)
         # Field allocation honours the boundary condition that was actually
         # compiled in (an options override changes the z-halo initialiser).
@@ -392,8 +501,10 @@ class RunService:
                 decl.name,
                 field_to_columns(effective, decl.name, fields[decl.name]),
             )
+        notify("running")
         simulator.launch()
         statistics = simulator.run(max_rounds)
+        notify("digesting")
         digests = {
             decl.name: hashlib.sha256(
                 simulator.read_field(decl.name).tobytes()
@@ -465,7 +576,8 @@ class RunService:
         lines = [
             "run service statistics:",
             f"  submitted {stats.submitted}  run-cache hits {stats.cache_hits}  "
-            f"simulations {stats.simulations}",
+            f"simulations {stats.simulations}  deduplicated "
+            f"{stats.deduplicated}",
             f"  run store: {self.store.directory} ({len(self.store)} artifacts)",
             f"  kernel cache: hits {kernels.hits} (memory {kernels.memory_hits}, "
             f"store {kernels.disk_hits})  codegens {kernels.codegens}",

@@ -589,6 +589,7 @@ class TiledExecutor(Executor):
 
         results: dict[int, ShardResult] = {}
         failure: str | None = None
+        symptom: str | None = None
         pending = set(range(len(self.boxes)))
         try:
             # Workers report once, after their whole run: poll with a short
@@ -615,10 +616,21 @@ class TiledExecutor(Executor):
                     continue
                 grace_polls = 0
                 if status == "error":
+                    if "BrokenBarrierError" in payload and pending - {index}:
+                        # A sibling's abort broke this shard out of its
+                        # barrier wait: a symptom, not the diagnosis.  Keep
+                        # draining for the shard that aborted — whichever
+                        # report wins the queue race, the real error is the
+                        # one the parent raises.
+                        symptom = payload
+                        pending.discard(index)
+                        continue
                     failure = payload
                     break
                 results[index] = payload
                 pending.discard(index)
+            if failure is None and symptom is not None:
+                failure = symptom
         finally:
             for worker in workers:
                 if failure is not None and worker.is_alive():

@@ -1,0 +1,107 @@
+"""Named experiments: grouping, aggregate progress, resumability."""
+
+import pytest
+
+from repro.benchmarks import benchmark_by_name
+from repro.service.queue import JobQueue, JobStatus, SweepConfig
+from repro.service.queue.experiments import normalize_configs
+from repro.transforms.pipeline import PipelineOptions
+
+
+def _program(name="Jacobian", grid=3):
+    return benchmark_by_name(name).program(
+        nx=grid, ny=grid, nz=8, time_steps=1
+    )
+
+
+def _options(grid=3):
+    return PipelineOptions(grid_width=grid, grid_height=grid)
+
+
+def _sweep():
+    return [
+        SweepConfig(program=_program("Jacobian"), options=_options()),
+        SweepConfig(program=_program("UVKBE"), options=_options()),
+        SweepConfig(
+            program=_program("Jacobian"), options=_options(), seed=99
+        ),
+    ]
+
+
+class TestNormalization:
+    def test_accepts_programs_pairs_and_configs(self):
+        program = _program()
+        configs = normalize_configs(
+            [program, (program, _options()), SweepConfig(program=program)]
+        )
+        assert len(configs) == 3
+        assert all(isinstance(c, SweepConfig) for c in configs)
+        assert configs[1].options is not None
+
+    def test_rejects_junk_and_empty_sweeps(self):
+        with pytest.raises(TypeError, match="sweep configs"):
+            normalize_configs(["Jacobian"])
+        with pytest.raises(ValueError, match="at least one"):
+            normalize_configs([])
+
+
+class TestExperiments:
+    def test_experiment_completes_and_aggregates_progress(self):
+        with JobQueue(workers=2, mode="inline") as queue:
+            experiment = queue.submit_experiment(
+                "sweep-1", _sweep(), executor="vectorized"
+            )
+            progress = experiment.wait(timeout=300)
+        assert progress.name == "sweep-1"
+        assert progress.total == 3
+        assert progress.done
+        assert progress.counts[JobStatus.DONE] == 3
+        assert progress.fraction == 1.0
+        assert "3/3 finished" in progress.format()
+        artifacts = experiment.results()
+        assert len(artifacts) == 3
+        # The seed=99 point is a distinct run of the same program.
+        assert artifacts[0].fingerprint != artifacts[2].fingerprint
+
+    def test_experiment_name_is_stamped_on_the_jobs(self):
+        with JobQueue(workers=0, mode="inline") as queue:
+            queue.submit_experiment("sweep-2", _sweep(), executor="vectorized")
+            records = queue.store.list_jobs(experiment="sweep-2")
+        assert len(records) == 3
+        assert all(record.experiment == "sweep-2" for record in records)
+
+    def test_resubmission_is_served_entirely_from_the_run_cache(self):
+        """The resumability contract: a warm resubmission of the same
+        experiment queues nothing and simulates nothing."""
+        with JobQueue(workers=2, mode="inline") as queue:
+            queue.submit_experiment(
+                "sweep-3", _sweep(), executor="vectorized"
+            ).wait(timeout=300)
+        with JobQueue(workers=0, mode="inline") as fresh:  # no workers at all
+            experiment = fresh.submit_experiment(
+                "sweep-3", _sweep(), executor="vectorized"
+            )
+            progress = experiment.progress()
+            assert progress.done  # terminal without any worker running
+            assert fresh.statistics.resumed_from_cache == 3
+            assert all(
+                record.served_from == "run-cache"
+                for record in fresh.store.list_jobs(experiment="sweep-3")
+                if record.status is JobStatus.DONE
+                and record.id in experiment.job_ids
+            )
+
+    def test_partial_completion_resumes_only_the_missing_points(self):
+        sweep = _sweep()
+        with JobQueue(workers=2, mode="inline") as queue:
+            queue.submit_experiment(
+                "warmup", sweep[:2], executor="vectorized"
+            ).wait(timeout=300)
+        with JobQueue(workers=2, mode="inline") as resumed:
+            experiment = resumed.submit_experiment(
+                "full", sweep, executor="vectorized"
+            )
+            experiment.wait(timeout=300)
+            assert resumed.statistics.resumed_from_cache == 2
+        # Counted after close(): the worker threads have joined by then.
+        assert resumed.statistics.completed == 1  # only the new point ran

@@ -1,0 +1,215 @@
+"""The JobQueue daemon: handles, futures, dedup, cache resume, events."""
+
+import pytest
+
+from repro.benchmarks import benchmark_by_name
+from repro.service.queue import (
+    JobCancelledError,
+    JobFailedError,
+    JobQueue,
+    JobStatus,
+    UnknownJobError,
+)
+from repro.service.run import RunService, compute_run_fingerprint
+from repro.transforms.pipeline import PipelineOptions
+
+
+def _config(name="Jacobian", grid=3, nz=8, steps=1):
+    program = benchmark_by_name(name).program(
+        nx=grid, ny=grid, nz=nz, time_steps=steps
+    )
+    return program, PipelineOptions(grid_width=grid, grid_height=grid)
+
+
+def _queue(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("mode", "inline")
+    return JobQueue(**kwargs)
+
+
+class TestSubmission:
+    def test_submit_returns_immediately_and_the_job_completes(self):
+        program, options = _config()
+        with _queue() as queue:
+            handle = queue.submit(program, options, executor="vectorized")
+            record = handle.wait(timeout=120)
+        assert record.status is JobStatus.DONE
+        assert record.served_from == "simulation"
+        assert record.attempts == 1
+        artifact = handle.result()
+        assert artifact.field_digests
+        assert artifact.fingerprint == handle.fingerprint
+
+    def test_the_fingerprint_matches_the_synchronous_path(self):
+        program, options = _config()
+        with _queue() as queue:
+            handle = queue.submit(
+                program, options, executor="vectorized", seed=7
+            )
+        assert handle.fingerprint == compute_run_fingerprint(
+            program, options, "vectorized", 7, 1_000_000
+        )
+
+    def test_unknown_executor_is_rejected_before_queueing(self):
+        program, options = _config()
+        with _queue() as queue:
+            with pytest.raises(KeyError, match="unknown executor 'warp'"):
+                queue.submit(program, options, executor="warp")
+            assert queue.store.counts()[JobStatus.QUEUED] == 0
+
+    def test_in_flight_duplicates_share_one_job(self):
+        program, options = _config()
+        with _queue(workers=0) as queue:  # no workers: stays queued
+            first = queue.submit(program, options, executor="vectorized")
+            second = queue.submit(program, options, executor="vectorized")
+            assert second.job_id == first.job_id
+            assert queue.statistics.deduplicated == 1
+
+    def test_cached_fingerprints_resume_without_queueing(self):
+        program, options = _config()
+        with RunService() as service:  # same REPRO_CACHE_DIR
+            artifact = service.run(program, options, executor="vectorized")
+        with _queue(workers=0) as queue:
+            handle = queue.submit(program, options, executor="vectorized")
+            assert handle.status() is JobStatus.DONE
+            assert queue.statistics.resumed_from_cache == 1
+            assert handle.record().served_from == "run-cache"
+            assert handle.result() == artifact
+
+    def test_completed_job_warms_the_shared_run_cache(self):
+        program, options = _config()
+        with _queue() as queue:
+            queue.submit(program, options, executor="vectorized").wait(
+                timeout=120
+            )
+        with RunService() as service:
+            service.run(program, options, executor="vectorized")
+            assert service.statistics.simulations == 0
+            assert service.statistics.cache_hits == 1
+
+
+class TestBatchRouting:
+    def test_submit_batch_routes_through_the_queue(self):
+        """``RunService.submit_batch(..., queue=...)`` keeps the future-list
+        interface while the daemon's workers do the work."""
+        jacobian = _config()
+        uvkbe = _config("UVKBE")
+        with _queue() as queue:
+            with RunService() as service:
+                futures = service.submit_batch(
+                    [jacobian, uvkbe],
+                    executor="vectorized",
+                    queue=queue,
+                    experiment="batch-routed",
+                )
+                artifacts = [future.result(timeout=120) for future in futures]
+            assert service.statistics.simulations == 0  # the queue ran them
+            records = queue.store.list_jobs(experiment="batch-routed")
+        assert [artifact.program_name for artifact in artifacts] == [
+            "jacobian",
+            "uvkbe",
+        ]
+        assert len(records) == 2
+        assert all(record.status is JobStatus.DONE for record in records)
+
+
+class TestHandles:
+    def test_failed_job_raises_from_result(self):
+        program, options = _config()
+        with _queue() as queue:
+            # An impossible round budget fails deterministically mid-run.
+            handle = queue.submit(
+                program, options, executor="vectorized", max_rounds=1
+            )
+            record = handle.wait(timeout=120)
+            assert record.status is JobStatus.FAILED
+            assert record.attempts == 1  # execution errors are not retried
+            assert "exceeded 1 rounds" in record.error
+            with pytest.raises(JobFailedError, match="failed"):
+                handle.result()
+
+    def test_future_resolves_with_the_artifact(self):
+        program, options = _config()
+        with _queue() as queue:
+            handle = queue.submit(program, options, executor="vectorized")
+            artifact = handle.future().result(timeout=120)
+        assert artifact.field_digests == handle.result().field_digests
+
+    def test_future_of_an_already_terminal_job_resolves_immediately(self):
+        program, options = _config()
+        with _queue() as queue:
+            handle = queue.submit(program, options, executor="vectorized")
+            handle.wait(timeout=120)
+            assert handle.future().result(timeout=5) is not None
+
+    def test_cancel_a_queued_job(self):
+        program, options = _config()
+        with _queue(workers=0) as queue:
+            handle = queue.submit(program, options, executor="vectorized")
+            assert handle.cancel() is JobStatus.CANCELLED
+            with pytest.raises(JobCancelledError):
+                handle.result()
+            assert queue.statistics.cancelled == 1
+
+    def test_handle_survives_the_daemon(self):
+        program, options = _config()
+        with _queue() as queue:
+            job_id = queue.submit(
+                program, options, executor="vectorized"
+            ).job_id
+            queue.handle(job_id).wait(timeout=120)
+        # A fresh daemon (fresh process in real life) resolves the same job.
+        with _queue(workers=0) as fresh:
+            handle = fresh.handle(job_id)
+            assert handle.status() is JobStatus.DONE
+            assert handle.result().field_digests
+
+    def test_unknown_job_id_raises(self):
+        with _queue(workers=0) as queue:
+            with pytest.raises(UnknownJobError, match="unknown job id 424242"):
+                queue.handle(424242)
+
+
+class TestEventsAndDrain:
+    def test_subscribers_stream_the_full_lifecycle_inline(self):
+        program, options = _config()
+        seen = []
+        with _queue(workers=1) as queue:
+            queue.subscribe(seen.append)
+            handle = queue.submit(program, options, executor="vectorized")
+            handle.wait(timeout=120)
+            queue.drain(timeout=120)
+        # Sort by store order: the submitting thread and the worker thread
+        # dispatch their own committed events, so arrival order can race.
+        transitions = [
+            event.to_status
+            for event in sorted(seen, key=lambda event: event.event_id)
+            if event.job_id == handle.job_id
+        ]
+        assert transitions == [
+            JobStatus.QUEUED,
+            JobStatus.COMPILING,
+            JobStatus.RUNNING,
+            JobStatus.DIGESTING,
+            JobStatus.DONE,
+        ]
+
+    def test_drain_without_workers_raises_instead_of_hanging(self):
+        program, options = _config()
+        with _queue(workers=0) as queue:
+            queue.submit(program, options, executor="vectorized")
+            with pytest.raises(RuntimeError, match="no running workers"):
+                queue.drain(timeout=5)
+
+    def test_statistics_summary_formats(self):
+        program, options = _config()
+        with _queue() as queue:
+            queue.submit(program, options, executor="vectorized").wait(
+                timeout=120
+            )
+        # After close() the worker threads have joined, so the in-memory
+        # terminal counters are settled (wait() alone races them).
+        text = queue.format_statistics()
+        assert "submitted 1" in text
+        assert "completed 1" in text
+        assert "done 1" in text

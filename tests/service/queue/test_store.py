@@ -1,0 +1,287 @@
+"""The persistent SQLite job store: atomic transitions, dedup, recovery."""
+
+import threading
+
+import pytest
+
+from repro.benchmarks import benchmark_by_name
+from repro.service.queue.lifecycle import (
+    IllegalTransitionError,
+    JobStatus,
+    UnknownJobError,
+)
+from repro.service.queue.store import JobPayload, JobStore
+from repro.transforms.pipeline import PipelineOptions
+
+
+def _payload(seed=13):
+    program = benchmark_by_name("Jacobian").program(
+        nx=3, ny=3, nz=8, time_steps=1
+    )
+    return JobPayload(
+        program=program,
+        options=PipelineOptions(grid_width=3, grid_height=3),
+        executor="vectorized",
+        seed=seed,
+        max_rounds=1_000_000,
+    ).encode()
+
+
+def _submit(store, fingerprint="fp-1", **kwargs):
+    record, deduplicated = store.submit(
+        _payload(),
+        fingerprint=fingerprint,
+        program_name="jacobian",
+        executor="vectorized",
+        **kwargs,
+    )
+    return record, deduplicated
+
+
+class TestSubmission:
+    def test_submit_creates_a_queued_job_with_a_submitted_event(self):
+        store = JobStore()
+        record, deduplicated = _submit(store)
+        assert not deduplicated
+        assert record.status is JobStatus.QUEUED
+        assert record.attempts == 0
+        events = store.events(record.id)
+        assert len(events) == 1
+        assert events[0].from_status is None
+        assert events[0].to_status is JobStatus.QUEUED
+
+    def test_in_flight_fingerprints_deduplicate(self):
+        store = JobStore()
+        first, _ = _submit(store)
+        second, deduplicated = _submit(store)
+        assert deduplicated and second.id == first.id
+        # A *different* fingerprint is a new job.
+        third, deduplicated = _submit(store, fingerprint="fp-2")
+        assert not deduplicated and third.id != first.id
+
+    def test_terminal_jobs_do_not_absorb_resubmissions(self):
+        store = JobStore()
+        first, _ = _submit(store)
+        claimed = store.claim_next("w")
+        store.fail(claimed.id, "boom", worker="w")
+        second, deduplicated = _submit(store)
+        assert not deduplicated and second.id != first.id
+
+    def test_dedupe_can_be_disabled(self):
+        store = JobStore()
+        first, _ = _submit(store)
+        second, deduplicated = _submit(store, dedupe=False)
+        assert not deduplicated and second.id != first.id
+
+    def test_payload_round_trips_through_the_row(self):
+        store = JobStore()
+        record, _ = _submit(store)
+        payload = JobPayload.decode(store.get(record.id).payload)
+        assert payload.executor == "vectorized"
+        assert payload.seed == 13
+        assert payload.program.name == "jacobian"
+
+    def test_insert_completed_records_the_full_lifecycle(self):
+        store = JobStore()
+        record = store.insert_completed(
+            _payload(),
+            fingerprint="fp-1",
+            program_name="jacobian",
+            executor="vectorized",
+            experiment="exp",
+            result={"served_from": "run-cache"},
+            detail="resumed from run cache",
+        )
+        assert record.status is JobStatus.DONE
+        assert record.served_from == "run-cache"
+        transitions = [
+            (event.from_status, event.to_status)
+            for event in store.events(record.id)
+        ]
+        assert transitions == [
+            (None, JobStatus.QUEUED),
+            (JobStatus.QUEUED, JobStatus.COMPILING),
+            (JobStatus.COMPILING, JobStatus.RUNNING),
+            (JobStatus.RUNNING, JobStatus.DIGESTING),
+            (JobStatus.DIGESTING, JobStatus.DONE),
+        ]
+
+
+class TestClaimsAndTransitions:
+    def test_claim_is_the_queued_to_compiling_edge_and_counts_an_attempt(self):
+        store = JobStore()
+        record, _ = _submit(store)
+        claimed = store.claim_next("worker-0")
+        assert claimed.id == record.id
+        assert claimed.status is JobStatus.COMPILING
+        assert claimed.attempts == 1
+        assert claimed.worker == "worker-0"
+        assert store.claim_next("worker-1") is None  # nothing left
+
+    def test_claims_are_fifo(self):
+        store = JobStore()
+        first, _ = _submit(store, fingerprint="fp-1")
+        second, _ = _submit(store, fingerprint="fp-2")
+        assert store.claim_next("w").id == first.id
+        assert store.claim_next("w").id == second.id
+
+    def test_backoff_hides_a_job_until_not_before(self):
+        store = JobStore()
+        record, _ = _submit(store)
+        claimed = store.claim_next("w")
+        assert store.requeue_or_fail(claimed.id, "died", backoff=60.0) is (
+            JobStatus.QUEUED
+        )
+        assert store.claim_next("w") is None  # invisible for 60 s
+
+    def test_illegal_transition_is_rejected_atomically(self):
+        store = JobStore()
+        record, _ = _submit(store)
+        with pytest.raises(IllegalTransitionError):
+            store.transition(record.id, JobStatus.DONE)
+        assert store.get(record.id).status is JobStatus.QUEUED
+
+    def test_expected_state_pins_the_transition(self):
+        store = JobStore()
+        record, _ = _submit(store)
+        store.claim_next("w")
+        with pytest.raises(IllegalTransitionError, match="expected"):
+            store.transition(
+                record.id, JobStatus.DIGESTING, expected=JobStatus.RUNNING
+            )
+
+    def test_unknown_job_raises(self):
+        store = JobStore()
+        with pytest.raises(UnknownJobError, match="unknown job id 99"):
+            store.transition(99, JobStatus.COMPILING)
+        assert store.get(99) is None
+
+    def test_concurrent_claims_never_double_claim(self):
+        store = JobStore()
+        for index in range(4):
+            _submit(store, fingerprint=f"fp-{index}")
+        claimed, lock = [], threading.Lock()
+
+        def worker(name):
+            while True:
+                record = store.claim_next(name)
+                if record is None:
+                    return
+                with lock:
+                    claimed.append(record.id)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == sorted(set(claimed))  # each job once
+        assert len(claimed) == 4
+
+
+class TestRetryAndRecovery:
+    def test_requeue_or_fail_exhausts_the_attempt_budget(self):
+        store = JobStore()
+        record, _ = _submit(store, max_attempts=2)
+        store.claim_next("w")
+        assert store.requeue_or_fail(record.id, "died") is JobStatus.QUEUED
+        store.claim_next("w")
+        assert store.requeue_or_fail(record.id, "died") is JobStatus.FAILED
+        final = store.get(record.id)
+        assert final.status is JobStatus.FAILED
+        assert "attempts exhausted: 2/2" in final.error
+
+    def test_requeue_releases_worker_ownership(self):
+        store = JobStore()
+        record, _ = _submit(store)
+        store.claim_next("w")
+        store.requeue_or_fail(record.id, "died")
+        assert store.get(record.id).worker is None
+
+    def test_terminal_and_queued_jobs_pass_through_untouched(self):
+        store = JobStore()
+        record, _ = _submit(store)
+        assert store.requeue_or_fail(record.id, "died") is JobStatus.QUEUED
+        claimed = store.claim_next("w")
+        store.fail(claimed.id, "boom")
+        assert store.requeue_or_fail(record.id, "died") is JobStatus.FAILED
+        assert len(store.events(record.id)) == 3  # no extra events recorded
+
+    def test_recover_orphans_requeues_every_active_job(self):
+        store = JobStore()
+        first, _ = _submit(store, fingerprint="fp-1")
+        second, _ = _submit(store, fingerprint="fp-2")
+        store.claim_next("w")
+        store.claim_next("w")
+        store.transition(
+            second.id, JobStatus.RUNNING, expected=JobStatus.COMPILING
+        )
+        # A fresh store (the restarted daemon) sees both as orphans.
+        recovered = JobStore().recover_orphans()
+        assert dict(recovered) == {
+            first.id: JobStatus.QUEUED,
+            second.id: JobStatus.QUEUED,
+        }
+        detail = JobStore().events(first.id)[-1].detail
+        assert "orphaned (daemon restart)" in detail
+
+
+class TestEventsAndReporting:
+    def test_events_fire_after_commit_on_the_recording_instance(self):
+        seen = []
+        store = JobStore(on_event=seen.append)
+        record, _ = _submit(store)
+        store.claim_next("w")
+        assert [event.to_status for event in seen] == [
+            JobStatus.QUEUED,
+            JobStatus.COMPILING,
+        ]
+
+    def test_rolled_back_transitions_fire_no_events(self):
+        seen = []
+        store = JobStore(on_event=seen.append)
+        record, _ = _submit(store)
+        seen.clear()
+        with pytest.raises(IllegalTransitionError):
+            store.transition(record.id, JobStatus.DONE)
+        assert seen == []
+
+    def test_events_since_returns_only_newer_events(self):
+        store = JobStore()
+        record, _ = _submit(store)
+        watermark = store.latest_event_id(record.id)
+        store.claim_next("w")
+        newer = store.events_since(record.id, watermark)
+        assert [event.to_status for event in newer] == [JobStatus.COMPILING]
+
+    def test_counts_and_stats_aggregate_the_store(self):
+        store = JobStore()
+        _submit(store, fingerprint="fp-1")
+        record, _ = _submit(store, fingerprint="fp-2")
+        claimed = store.claim_next("w")
+        store.fail(claimed.id, "boom")
+        counts = store.counts()
+        assert counts[JobStatus.QUEUED] == 1
+        assert counts[JobStatus.FAILED] == 1
+        stats = store.stats()
+        assert stats.jobs == 2
+        assert stats.events == 4
+        assert stats.total_bytes > 0
+
+    def test_purge_empties_jobs_and_events(self):
+        store = JobStore()
+        _submit(store)
+        assert store.purge() == 1
+        assert store.counts()[JobStatus.QUEUED] == 0
+        assert store.stats().events == 0
+
+    def test_schema_version_mismatch_is_a_hard_error(self):
+        store = JobStore()
+        with store._txn() as connection:
+            connection.execute(
+                "UPDATE queue_meta SET value = '0' WHERE key = 'schema_version'"
+            )
+        with pytest.raises(ValueError, match="schema version 0"):
+            JobStore()

@@ -199,11 +199,80 @@ class TestRunService:
             artifacts = [future.result() for future in futures]
         assert [a.program_name for a in artifacts] == ["jacobian", "uvkbe"]
 
+    def test_batch_deduplicates_identical_fingerprints(self):
+        """A sweep with repeated configs executes each distinct run once;
+        the repeats share the winner's future."""
+        jacobian = _config()
+        with RunService() as service:
+            futures = service.submit_batch([jacobian, jacobian, jacobian])
+            artifacts = [future.result() for future in futures]
+            assert service.statistics.simulations == 1
+            assert service.statistics.deduplicated == 2
+            assert futures[1] is futures[0] and futures[2] is futures[0]
+        assert artifacts[0] == artifacts[1] == artifacts[2]
+
+    def test_batch_dedup_distinguishes_run_level_inputs(self):
+        jacobian = _config()
+        with RunService() as service:
+            futures = service.submit_batch(
+                [jacobian, jacobian], seed=DEFAULT_RUN_SEED
+            )
+            assert service.statistics.deduplicated == 1
+            more = service.submit_batch([jacobian], seed=99)
+            assert more[0] is not futures[0]  # different fingerprint
+            assert service.statistics.simulations == 2
+
+    def test_stage_callback_fires_in_order_on_a_miss_only(self):
+        program, options = _config()
+        stages = []
+        with RunService() as service:
+            service.run(program, options, on_stage=stages.append)
+            assert stages == ["compiling", "running", "digesting"]
+            stages.clear()
+            service.run(program, options, on_stage=stages.append)
+            assert stages == []  # cache hits never enter the stages
+
     def test_artifact_json_round_trip(self):
         program, options = _config()
         with RunService() as service:
             artifact = service.run(program, options)
         assert RunArtifact.from_json(artifact.to_json()) == artifact
+
+    def test_from_json_rejects_a_missing_schema_version(self):
+        with pytest.raises(ValueError, match="no schema_version"):
+            RunArtifact.from_json('{"fingerprint": "abc"}')
+
+    def test_from_json_rejects_a_mismatched_schema_version(self):
+        with pytest.raises(ValueError, match="does not match current"):
+            RunArtifact.from_json('{"schema_version": 1}')
+
+    def test_from_json_rejects_unknown_fields(self):
+        program, options = _config()
+        with RunService() as service:
+            artifact = service.run(program, options)
+        import json as json_module
+
+        data = json_module.loads(artifact.to_json())
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match=r"unknown fields \['surprise'\]"):
+            RunArtifact.from_json(json_module.dumps(data))
+
+    def test_from_json_rejects_missing_fields(self):
+        program, options = _config()
+        with RunService() as service:
+            artifact = service.run(program, options)
+        import json as json_module
+
+        data = json_module.loads(artifact.to_json())
+        del data["field_digests"]
+        with pytest.raises(
+            ValueError, match=r"missing fields \['field_digests'\]"
+        ):
+            RunArtifact.from_json(json_module.dumps(data))
+
+    def test_from_json_rejects_non_object_documents(self):
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            RunArtifact.from_json("[1, 2, 3]")
 
     def test_stale_schema_on_disk_is_a_miss(self):
         program, options = _config()

@@ -135,7 +135,12 @@ def test_cli_stats_and_purge_roundtrip(isolated_cache):
 
     stats_out = io.StringIO()
     assert main(["stats"], out=stats_out) == 0
-    assert "artifacts: 1" in stats_out.getvalue()
+    # The combined table: one row per store, compile first.
+    table = stats_out.getvalue().splitlines()
+    assert table[0].split() == [
+        "store", "entries", "bytes", "hits", "misses", "hit", "rate"
+    ]
+    assert table[1].split()[:2] == ["compile", "1"]
     assert str(isolated_cache) in stats_out.getvalue()
 
     purge_out = io.StringIO()
@@ -144,7 +149,7 @@ def test_cli_stats_and_purge_roundtrip(isolated_cache):
 
     empty_out = io.StringIO()
     assert main(["stats"], out=empty_out) == 0
-    assert "artifacts: 0" in empty_out.getvalue()
+    assert empty_out.getvalue().splitlines()[1].split()[:2] == ["compile", "0"]
 
 
 def test_cli_rejects_unknown_benchmarks(capsys):
