@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench sim-bench service service-smoke run-service-check queue-check boundary-check lint
+.PHONY: test bench sim-bench tiled-check service service-smoke run-service-check queue-check boundary-check lint
 
 # Tier-1 verification: the whole suite, fail fast.
 test:
@@ -11,11 +11,24 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-# Simulator throughput smoke: the reference/vectorized sweep (>=3x on 8x8)
-# plus the paper-scale tiled-vs-vectorized head-to-head (>=1.5x on 64x64,
-# asserted on 2+ CPU hosts); refreshes BENCH_simulator.json at the repo root.
+# Simulator throughput smoke: the reference/vectorized sweep (>=3x on 8x8),
+# the paper-scale head-to-heads (tiled >= 1.2x compiled on 2+ CPU hosts,
+# compiled >= 1.2x vectorized), the auto-dispatcher row and the 256x256
+# weak/strong scaling sweep; refreshes BENCH_simulator.json and
+# BENCH_scaling.json at the repo root.
 sim-bench:
 	$(PYTHON) -m pytest benchmarks/test_simulator_throughput.py -q
+
+# Gate the overlapped tiled protocol: the golden byte-identical digest
+# matrices (7 benchmarks x 3 boundary modes x all executors, including the
+# compiled-shard tiled backend and the auto dispatcher) plus the tiled
+# backend's own geometry/pool/failure-path suite.
+tiled-check:
+	$(PYTHON) -m pytest tests/wse/test_tiled_executor.py \
+	  tests/wse/test_auto_executor.py \
+	  tests/wse/test_executor_equivalence.py \
+	  tests/wse/test_boundary_conditions.py \
+	  tests/wse/test_comms_edge_cases.py -q
 
 # Compilation service: unit + throughput tests, then the CLI smoke path.
 service:

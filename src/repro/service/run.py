@@ -488,7 +488,10 @@ class RunService:
             effective = replace(program, boundary=result.options.boundary)
 
         kernel_cache = None
-        if executor_name == "compiled":
+        if executor_name in ("compiled", "auto"):
+            # `auto` may delegate to the compiled backend; warming the
+            # fleet-wide kernel store is cheap and keeps the provenance
+            # reporting uniform.
             kernel_cache = self._warm_kernel(result.program_module)
 
         simulator = WseSimulator(result.program_module, executor=executor_name)

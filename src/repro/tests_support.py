@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import os
 from dataclasses import replace
 
 import numpy as np
@@ -23,11 +22,12 @@ def usable_cpus() -> int:
     The parallelism floors in the benchmarks (pool compiles, tiled shard
     speedup) are asserted only when the host can express them; plain
     ``os.cpu_count()`` over-reports inside affinity-restricted containers.
+    Delegates to the tiled backend's counter so the benchmarks gate on the
+    same number the shard-grid heuristic actually uses.
     """
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
+    from repro.wse.executors.tiled import usable_cpu_count
+
+    return usable_cpu_count()
 
 
 def random_initializer(seed: int = 7):

@@ -1,6 +1,6 @@
 """Pluggable execution backends for the WSE fabric simulator.
 
-Four backends ship in-tree, all replaying the same pre-compiled
+Five backends ship in-tree, all replaying the same pre-compiled
 :class:`~repro.wse.plan.ExecutionPlan`:
 
 * ``reference`` — the original per-PE Python interpreter
@@ -16,10 +16,17 @@ Four backends ship in-tree, all replaying the same pre-compiled
   (:mod:`repro.wse.codegen`), cached process-wide by content fingerprint.
   Bit-identical to ``vectorized`` and the fastest single-process backend.
 * ``tiled`` — the sharded multiprocess executor
-  (:mod:`repro.wse.executors.tiled`): partitions the fabric into K×K shards
-  run on forked worker processes over shared-memory buffers, with per-round
-  seam exchange.  Bit-identical to ``vectorized`` and faster on large
-  (32×32+) grids with 2+ CPUs.
+  (:mod:`repro.wse.executors.tiled`): partitions the fabric into kx×ky
+  shards run on a persistent pool of forked worker processes over
+  shared-memory buffers, each shard replaying a box-restricted compiled
+  kernel with the seam exchange overlapped against interior compute.
+  Bit-identical to ``vectorized`` and faster on large (64×64+) grids
+  with 2+ CPUs.
+* ``auto`` — the profile-guided dispatcher
+  (:mod:`repro.wse.executors.auto`): picks one of the four real backends
+  per workload from recorded ``BENCH_*.json`` trajectory rows and the
+  host cost model, then delegates everything to it; the decision and its
+  rationale are stamped on the run's statistics.
 
 Selection, in priority order: the ``executor=`` argument of
 :class:`repro.wse.simulator.WseSimulator`, the ``REPRO_EXECUTOR``
@@ -39,6 +46,7 @@ from repro.wse.executors.base import (
 )
 
 # Importing the backend modules registers them.
+from repro.wse.executors.auto import AutoExecutor
 from repro.wse.executors.compiled import CompiledExecutor
 from repro.wse.executors.reference import ReferenceExecutor
 from repro.wse.executors.tiled import TiledExecutor
@@ -47,6 +55,7 @@ from repro.wse.executors.vectorized import VectorizedExecutor
 __all__ = [
     "DEFAULT_EXECUTOR",
     "EXECUTOR_ENV_VAR",
+    "AutoExecutor",
     "CompiledExecutor",
     "Executor",
     "ReferenceExecutor",

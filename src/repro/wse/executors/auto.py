@@ -1,0 +1,276 @@
+"""The ``auto`` backend: profile-guided dispatch over the real backends.
+
+Every backend replays the same execution plan with identical observable
+results, so the only open question per workload is *which one is fastest
+on this host* — small fabrics favour the reference/vectorized paths
+(kernel generation and forking cost more than they save), large fabrics
+favour ``compiled``, and large fabrics on multi-core hosts favour the
+sharded ``tiled``/``compiled`` composition.  This dispatcher makes that
+choice per simulator instance and then delegates everything to the chosen
+backend.
+
+The decision is profile-guided in the spirit of PGO surveys: recorded
+``BENCH_simulator.json`` trajectory rows (written by the throughput
+benchmarks, host-specific) are consulted first — an exact grid match is
+trusted outright, a near-miss is scaled by the PE-count ratio — and only
+workloads the trajectory has never seen fall back to the analytic host
+cost model in :func:`repro.wse.perf_model.predict_host_seconds`, whose
+coefficients are themselves fitted against recorded trajectories.  The
+decision and its rationale are stamped on the run's
+:class:`SimulationStatistics` (``backend_decision`` /
+``backend_rationale``) so every result is auditable.
+
+Environment knobs: ``REPRO_AUTO_BACKEND`` forces the delegate (the
+dispatcher still stamps the rationale as forced); ``REPRO_AUTO_TRAJECTORY``
+points at an alternative trajectory file (defaults to
+``BENCH_simulator.json`` in the working directory, then the repo root).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.wse.executors.base import (
+    Executor,
+    SimulationStatistics,
+    executor_by_name,
+    register_executor,
+)
+from repro.wse.executors.tiled import shard_grid, usable_cpu_count
+
+#: force the delegate backend, bypassing the decision procedure.
+FORCE_ENV_VAR = "REPRO_AUTO_BACKEND"
+
+#: trajectory file consulted for recorded backend timings.
+TRAJECTORY_ENV_VAR = "REPRO_AUTO_TRAJECTORY"
+
+#: delivery rounds assumed when pricing a workload at dispatch time (the
+#: true count is only known after the run; the *ranking* of backends is
+#: insensitive to the exact value once setup costs are amortised).
+NOMINAL_ROUNDS = 8
+
+#: backends the dispatcher considers (tiled joins when it can actually
+#: shard and fork).
+_SERIAL_CANDIDATES = ("reference", "vectorized", "compiled")
+
+
+def _trajectory_path() -> Path:
+    override = os.environ.get(TRAJECTORY_ENV_VAR)
+    if override:
+        return Path(override)
+    local = Path.cwd() / "BENCH_simulator.json"
+    if local.exists():
+        return local
+    return Path(__file__).resolve().parents[4] / "BENCH_simulator.json"
+
+
+def load_recorded_rows(path: Path | None = None) -> list[dict]:
+    """The recorded trajectory rows, or ``[]`` when none are available.
+
+    A missing, unreadable or stale-schema trajectory must never break a
+    simulation — the dispatcher just falls back to the analytic model.
+    """
+    from repro.eval.trajectory import read_trajectory
+
+    try:
+        return read_trajectory(path if path is not None else _trajectory_path())
+    except Exception:
+        return []
+
+
+class BackendSelector:
+    """Ranks execution backends for a workload: records first, model second."""
+
+    def __init__(self, records: list[dict] | None = None, cpus: int | None = None):
+        self.records = (
+            records if records is not None else load_recorded_rows()
+        )
+        self.cpus = cpus if cpus is not None else usable_cpu_count()
+
+    def candidates(self, width: int, height: int) -> tuple[str, ...]:
+        kx, ky = shard_grid(width, height, self.cpus)
+        if self.cpus >= 2 and kx * ky > 1:
+            return _SERIAL_CANDIDATES + ("tiled",)
+        return _SERIAL_CANDIDATES
+
+    def _recorded_seconds(
+        self, executor: str, width: int, height: int
+    ) -> tuple[float, str] | None:
+        """Best recorded seconds for this backend, exact grid or scaled.
+
+        Warm-cache rows are preferred over cold (steady-state dispatch
+        should not price one-time kernel generation the store has already
+        amortised fleet-wide).
+        """
+        rows = [row for row in self.records if row["executor"] == executor]
+        if not rows:
+            return None
+
+        def preferred(candidates: list[dict]) -> dict:
+            warm = [row for row in candidates if row.get("cache") == "warm"]
+            pool = warm or candidates
+            return min(pool, key=lambda row: row["seconds"])
+
+        grid = f"{width}x{height}"
+        exact = [row for row in rows if row["grid"] == grid]
+        if exact:
+            row = preferred(exact)
+            return float(row["seconds"]), f"recorded on {grid}"
+
+        pes = width * height
+
+        def row_pes(row: dict) -> int:
+            w, _, h = row["grid"].partition("x")
+            return int(w) * int(h)
+
+        nearest = preferred(
+            sorted(
+                rows,
+                key=lambda row: abs(
+                    math.log(max(1, row_pes(row))) - math.log(max(1, pes))
+                ),
+            )[:1]
+        )
+        scale = pes / max(1, row_pes(nearest))
+        return (
+            float(nearest["seconds"]) * scale,
+            f"scaled from recorded {nearest['grid']}",
+        )
+
+    def predict(
+        self,
+        executor: str,
+        width: int,
+        height: int,
+        depth: int,
+        rounds: int = NOMINAL_ROUNDS,
+    ) -> tuple[float, str]:
+        """Predicted host seconds and the basis of the prediction."""
+        from repro.wse.perf_model import predict_host_seconds
+
+        recorded = self._recorded_seconds(executor, width, height)
+        if recorded is not None:
+            return recorded
+        kx, ky = shard_grid(width, height, self.cpus)
+        seconds = predict_host_seconds(
+            executor,
+            pes=width * height,
+            depth=depth,
+            rounds=rounds,
+            cpus=self.cpus,
+            shards=kx * ky,
+        )
+        return seconds, "host cost model"
+
+    def choose(
+        self,
+        width: int,
+        height: int,
+        depth: int,
+        rounds: int = NOMINAL_ROUNDS,
+    ) -> tuple[str, str]:
+        """The chosen backend name and a human-readable rationale."""
+        scored = {
+            name: self.predict(name, width, height, depth, rounds)
+            for name in self.candidates(width, height)
+        }
+        best = min(scored, key=lambda name: scored[name][0])
+        seconds, basis = scored[best]
+        ranking = ", ".join(
+            f"{name}={scored[name][0]:.4g}s"
+            for name in sorted(scored, key=lambda name: scored[name][0])
+        )
+        rationale = (
+            f"{best} predicted fastest for {width}x{height} "
+            f"(depth {depth}, {self.cpus} cpus) via {basis}: {ranking}"
+        )
+        return best, rationale
+
+
+@register_executor
+class AutoExecutor(Executor):
+    """Dispatch to the predicted-fastest backend; delegate everything."""
+
+    name = "auto"
+
+    def __init__(self, image, width, height, plan=None):
+        # The statistics property below consults the delegate; it must
+        # exist (as None) before super().__init__ assigns statistics.
+        self._delegate: Executor | None = None
+        self._own_statistics = SimulationStatistics()
+        super().__init__(image, width, height, plan)
+        forced = os.environ.get(FORCE_ENV_VAR, "").strip()
+        if forced:
+            choice = forced
+            rationale = f"forced by {FORCE_ENV_VAR}={forced}"
+        else:
+            selector = BackendSelector()
+            depth = max(self.plan.buffers.values(), default=1)
+            choice, rationale = selector.choose(width, height, depth)
+        delegate_cls = executor_by_name(choice)
+        self._delegate = delegate_cls(image, width, height, self.plan)
+        #: the decision surface: which backend runs, and why.
+        self.backend_name = choice
+        self.backend_rationale = rationale
+        self._stamp()
+
+    # The delegate owns the live statistics; before it exists, assignments
+    # from the base constructor land on a private placeholder.
+    @property
+    def statistics(self) -> SimulationStatistics:
+        if self._delegate is None:
+            return self._own_statistics
+        return self._delegate.statistics
+
+    @statistics.setter
+    def statistics(self, value: SimulationStatistics) -> None:
+        if self._delegate is None:
+            self._own_statistics = value
+        else:
+            self._delegate.statistics = value
+
+    def _stamp(self) -> None:
+        statistics = self.statistics
+        statistics.backend_decision = self.backend_name
+        statistics.backend_rationale = self.backend_rationale
+
+    # -- delegation ------------------------------------------------------ #
+
+    def load_field(self, name: str, columns: np.ndarray) -> None:
+        self._delegate.load_field(name, columns)
+
+    def read_field(self, name: str) -> np.ndarray:
+        return self._delegate.read_field(name)
+
+    def pe(self, x: int, y: int):
+        return self._delegate.pe(x, y)
+
+    @property
+    def grid(self) -> list[list]:
+        return self._delegate.grid
+
+    def launch(self, entry: str | None = None) -> None:
+        self._delegate.launch(entry)
+
+    def run(self, max_rounds: int = 1_000_000) -> SimulationStatistics:
+        statistics = self._delegate.run(max_rounds)
+        self._stamp()
+        return statistics
+
+    # -- unused base hooks (the delegate drives its own rounds) ---------- #
+
+    def _drain_tasks(self) -> None:  # pragma: no cover
+        raise AssertionError("auto delegates execution to its chosen backend")
+
+    def _all_settled(self) -> bool:  # pragma: no cover
+        raise AssertionError("auto delegates execution to its chosen backend")
+
+    def _deliver_round(self) -> int:  # pragma: no cover
+        raise AssertionError("auto delegates execution to its chosen backend")
+
+    def _collect_statistics(self) -> None:  # pragma: no cover
+        raise AssertionError("auto delegates execution to its chosen backend")

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, Iterable
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, ClassVar, Iterable
 
 import numpy as np
 
@@ -50,6 +50,16 @@ class SimulationStatistics:
     dsd_elements: int = 0
     wavelets_sent: int = 0
     max_pe_memory_bytes: int = 0
+    #: which backend the ``auto`` dispatcher delegated to, and why.  Not
+    #: activity counters: excluded from equality (cross-backend statistics
+    #: comparisons stay meaningful) and from :meth:`merge`.
+    backend_decision: str = field(default="", compare=False)
+    backend_rationale: str = field(default="", compare=False)
+
+    #: descriptive fields :meth:`merge` must not fold.
+    _METADATA_FIELDS: ClassVar[frozenset[str]] = frozenset(
+        {"backend_decision", "backend_rationale"}
+    )
 
     @classmethod
     def merge(
@@ -60,20 +70,24 @@ class SimulationStatistics:
         This is the aggregation rule for partitioned execution — the tiled
         backend merges its per-shard statistics with it — and for any host
         rolling several runs up into one report.  ``max_pe_memory_bytes`` is
-        a per-PE peak, not activity, so it takes the maximum.
+        a per-PE peak, not activity, so it takes the maximum; metadata
+        fields pass through from the first part carrying them.
         """
         merged = cls()
         for part in parts:
-            for field in fields(cls):
-                if field.name == "max_pe_memory_bytes":
+            for spec in fields(cls):
+                if spec.name in cls._METADATA_FIELDS:
+                    if not getattr(merged, spec.name):
+                        setattr(merged, spec.name, getattr(part, spec.name))
+                elif spec.name == "max_pe_memory_bytes":
                     merged.max_pe_memory_bytes = max(
                         merged.max_pe_memory_bytes, part.max_pe_memory_bytes
                     )
                 else:
                     setattr(
                         merged,
-                        field.name,
-                        getattr(merged, field.name) + getattr(part, field.name),
+                        spec.name,
+                        getattr(merged, spec.name) + getattr(part, spec.name),
                     )
         return merged
 

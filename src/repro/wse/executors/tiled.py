@@ -1,51 +1,64 @@
-"""The tiled backend: K×K fabric shards on a multiprocess pool.
+"""The tiled backend: compiled shard kernels on a persistent process pool.
 
 The vectorized lockstep executor turned the per-PE interpretation into
 whole-grid array math; this backend distributes that math.  The fabric is
-partitioned into a K×K grid of rectangular *shards*, each owned by one
-worker process.  Every buffer of the program lives in one full-grid
+partitioned into a ``kx x ky`` grid of rectangular *shards*, each owned by
+one worker process.  Every buffer of the program lives in one full-grid
 shared-memory array (an anonymous ``mmap`` backing a
-``multiprocessing.RawArray``), so
+``multiprocessing.RawArray``), so each worker's compute operates on *views*
+restricted to its shard rows/columns — the identical NumPy ufuncs on a
+sub-rectangle are bit-identical to the vectorized whole-grid op.
 
-* each worker's compute is ordinary lockstep interpretation over *views*
-  restricted to its shard rows/columns — the identical NumPy ufuncs on a
-  sub-rectangle are bit-identical to the vectorized whole-grid op;
-* the per-round *seam exchange* between shards needs no copies or message
-  passing: a shard gathers the halo data it pulls from neighbouring shards
-  straight out of the shared full-grid source array, using the same
-  plan-compiled fold tables as every other backend (outer fabric borders
-  keep the program's boundary semantics; seams are plain interior reads).
+Three design decisions make the shards pay for themselves:
 
-Correctness of the two-phase exchange (all sends snapshot neighbour values
-*as scheduled*, before any receive callback mutates a buffer) is preserved
-across processes by two barriers per delivery round: one after all shards
-have drained their tasks (no shard snapshots while another still computes),
-one after all shards have snapshotted (no shard writes while another still
-reads).  Because the programs are strictly SPMD, every shard runs the same
-uniform control flow and settles in the same round, so no further consensus
-is needed.
+* **Compiled shard kernels.**  Each shard replays the fused per-round
+  kernel :mod:`repro.wse.codegen` emits restricted to its box (staging
+  split into interior/rim regions against the shard geometry) instead of
+  interpreting the plan tables per round.  Kernels are cached process-wide
+  and fleet-wide through the service :class:`KernelSourceStore` under the
+  plan fingerprint + box key.  Programs the generator cannot fuse fall
+  back to interpreted shards (:attr:`TiledExecutor.tiled_fallback_reason`).
+* **Overlapped seam exchange.**  The historical protocol paid two barriers
+  per delivery round (drain -> stage -> deliver).  The compiled protocol
+  pays one: after draining, a shard *publishes* its seam rows/columns into
+  shared snapshot strips and flags the round in a per-shard publication
+  counter, then stages its *interior* (sources inside the box — legal while
+  siblings still compute), spin-waits only for the publication flags of the
+  shards it actually reads from, stages the *rim* out of the snapshots, and
+  delivers.  The round ends at the single barrier, which doubles as the
+  settled-consensus point (monotone progress values, so a shard racing into
+  the next round can never corrupt a sibling's consensus read).
+* **A persistent worker pool.**  Workers are forked once per executor and
+  reused across delivery rounds *and* across runs in the same process
+  (command pipes carry launch entry + resumed scalar state; a fresh kernel
+  binding per run keeps no stale closure state).  ``fork`` shares the
+  image, plan and compiled kernels for free.
 
-Shard workers are forked, which shares the program image and plan for free;
-platforms without ``fork`` (and degenerate 1-shard grids) fall back to
-driving the shards sequentially in-process on the exact same two-phase
-schedule — bit-identical, merely not parallel.  ``REPRO_TILED_SHARDS``
-overrides the shard-grid extent K; when unset K is derived from the usable
-CPU count (one worker per CPU, square-ish) and clamped so no shard is
-thinner than :data:`MIN_SHARD_SIDE` PEs per side — below that, fork and
-barrier overhead dominate the per-shard array math.
+Platforms without ``fork`` (and degenerate 1-shard grids) drive the shards
+sequentially in-process on the exact same schedule — bit-identical, merely
+not parallel.  ``REPRO_TILED_SHARDS`` overrides the shard grid (K along
+both axes, clamped to the fabric); when unset the grid is derived from the
+usable CPU count (one worker per CPU) and clamped so no shard is thinner
+than :data:`MIN_SHARD_SIDE` PEs per side along either axis — below that,
+fork and barrier overhead dominate the per-shard array math.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import multiprocessing.connection
 import os
+import threading
+import time
 import traceback
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.ir.exceptions import InterpretationError
+from repro.wse.codegen import CompiledKernel, KernelCodegenError, get_kernel
 from repro.wse.executors.base import (
     Executor,
     SimulationStatistics,
@@ -60,7 +73,7 @@ from repro.wse.executors.vectorized import (
 )
 from repro.wse.interpreter import ProgramImage
 from repro.wse.pe import PE_COUNTER_NAMES, new_pe_counters
-from repro.wse.plan import ExecutionPlan
+from repro.wse.plan import ExecutionPlan, ShardGeometry
 
 #: environment variable overriding the shard-grid extent (K of K×K).
 SHARD_ENV_VAR = "REPRO_TILED_SHARDS"
@@ -70,9 +83,9 @@ SHARD_ENV_VAR = "REPRO_TILED_SHARDS"
 #: math is worth.
 MIN_SHARD_SIDE = 4
 
-#: ceiling on any single barrier wait / result collection (seconds); shard
-#: divergence (which SPMD uniformity rules out) surfaces as an error
-#: instead of a hang.
+#: ceiling on any single barrier wait / publication wait / result
+#: collection (seconds); shard divergence (which SPMD uniformity rules
+#: out) surfaces as an error instead of a hang.
 SYNC_TIMEOUT_SECONDS = 600.0
 
 
@@ -89,11 +102,16 @@ def usable_cpu_count() -> int:
         return os.cpu_count() or 1
 
 
-def shard_extent(width: int, height: int, cpus: int | None = None) -> int:
-    """The shard-grid extent K: ``REPRO_TILED_SHARDS``, clamped so no
-    shard is empty — or, when the variable is unset, a K derived from the
-    usable CPU count (K² workers ≈ one per CPU) and the fabric (no shard
-    thinner than :data:`MIN_SHARD_SIDE` PEs per side)."""
+def shard_grid(
+    width: int, height: int, cpus: int | None = None
+) -> tuple[int, int]:
+    """The shard grid ``(kx, ky)``: ``REPRO_TILED_SHARDS`` (K along both
+    axes, clamped so no shard is empty) — or, when the variable is unset, a
+    grid derived from the usable CPU count (``kx * ky`` workers ≈ one per
+    CPU) and clamped per axis so no shard is thinner than
+    :data:`MIN_SHARD_SIDE` PEs.  The per-axis clamp is what keeps ragged
+    fabrics (e.g. 64x8) sharded along their long axis instead of collapsing
+    to one shard."""
     override = os.environ.get(SHARD_ENV_VAR, "").strip()
     if override:
         try:
@@ -108,39 +126,25 @@ def shard_extent(width: int, height: int, cpus: int | None = None) -> int:
                 f"invalid {SHARD_ENV_VAR}={requested}: the shard-grid extent "
                 f"must be >= 1"
             )
-        return max(1, min(requested, width, height))
+        return max(1, min(requested, width)), max(1, min(requested, height))
     if cpus is None:
         cpus = usable_cpu_count()
-    derived = min(
-        math.isqrt(max(1, cpus)),
-        width // MIN_SHARD_SIDE,
-        height // MIN_SHARD_SIDE,
-    )
-    return max(1, min(derived, width, height))
+    cpus = max(1, cpus)
+    ky = max(1, min(math.isqrt(cpus), height // MIN_SHARD_SIDE))
+    kx = max(1, min(cpus // ky, width // MIN_SHARD_SIDE))
+    return kx, ky
 
 
 def shard_boxes(
-    width: int, height: int, extent: int
+    width: int, height: int, kx: int, ky: int
 ) -> tuple[tuple[int, int, int, int], ...]:
-    """K×K rectangular shards ``(y0, y1, x0, x1)`` tiling the fabric.
+    """``kx x ky`` rectangular shards ``(y0, y1, x0, x1)`` tiling the fabric.
 
-    Rows and columns are split into K nearly-equal bands (the first
+    Rows and columns are split into nearly-equal bands (the first
     ``remainder`` bands one wider), so every PE belongs to exactly one
     shard and uneven fabrics stay balanced.
     """
-
-    def bands(total: int) -> list[tuple[int, int]]:
-        base, remainder = divmod(total, extent)
-        edges = [0]
-        for band in range(extent):
-            edges.append(edges[-1] + base + (1 if band < remainder else 0))
-        return [(edges[i], edges[i + 1]) for i in range(extent)]
-
-    return tuple(
-        (y0, y1, x0, x1)
-        for y0, y1 in bands(height)
-        for x0, x1 in bands(width)
-    )
+    return ShardGeometry.build(width, height, kx, ky).boxes()
 
 
 @dataclass
@@ -159,9 +163,11 @@ class ShardState(GridState):
 
     A :class:`~repro.wse.executors.vectorized.GridState` whose ``buffers``
     are writable sub-rectangle views of the parent's shared-memory arrays,
-    so every DSD compute op the interpreter executes touches exactly this
-    shard's rows and columns of shared memory — and whose allocation hook
-    maps onto those pre-existing views instead of allocating.
+    so every DSD compute op touches exactly this shard's rows and columns
+    of shared memory — and whose allocation hook maps onto those
+    pre-existing views instead of allocating.  Compiled shard kernels
+    additionally read :attr:`seam_snapshots` (eid -> (row strip, column
+    strip) shared arrays) for their rim staging.
     """
 
     def __init__(
@@ -174,6 +180,9 @@ class ShardState(GridState):
         self.buffers = {
             name: array[y0:y1, x0:x1] for name, array in full_buffers.items()
         }
+        #: eid -> (row snapshot, column snapshot); bound by compiled shard
+        #: kernels, unused by interpreted shards.
+        self.seam_snapshots: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     def allocate(self, name: str, size: int) -> None:
         # The parent pre-allocated every buffer in shared memory; an unknown
@@ -185,12 +194,14 @@ class ShardState(GridState):
 
 
 class ShardRunner:
-    """Replays the execution plan for one shard of the fabric.
+    """Replays the execution plan for one shard of the fabric (interpreted).
 
     Exposes the four steps of a delivery round — :meth:`drain`,
     :attr:`settled`, :meth:`stage`, :meth:`deliver` — so the same runner
     serves both the barrier-stepped worker processes and the sequential
-    in-process fallback.
+    in-process fallback.  This interpreted runner is the fallback for
+    programs :mod:`repro.wse.codegen` cannot fuse; fusable programs run
+    :class:`CompiledShardRunner` instead.
     """
 
     def __init__(
@@ -343,8 +354,110 @@ class ShardRunner:
         )
 
 
+class CompiledShardRunner:
+    """Replays the fused shard-box kernel for one shard of the fabric.
+
+    The compiled analogue of :class:`ShardRunner`: the same round-step
+    surface, but every step delegates to the generated kernel's hooks, and
+    the exchange is the overlapped publish / stage-interior / stage-rim /
+    deliver protocol instead of one monolithic staging pass.  A fresh
+    runner is bound per run — kernel closures capture the counters and
+    variables dicts, so reuse across runs would leak state; the expensive
+    part (code generation) is cached behind ``kernel`` anyway.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        kernel: CompiledKernel,
+        full_buffers: dict[str, np.ndarray],
+        box: tuple[int, int, int, int],
+        snapshots: dict[int, tuple[np.ndarray, np.ndarray]],
+        variables: dict[str, float] | None = None,
+        halted: bool = False,
+    ):
+        self.plan = plan
+        self.box = box
+        self.state = ShardState(full_buffers, box)
+        self.state.seam_snapshots = snapshots
+        if variables:
+            self.state.variables.update(variables)
+        # Mirror the interpreter's initialise(): image-declared variables
+        # default in without clobbering resumed values.
+        for name, value in plan.variables.items():
+            self.state.variables.setdefault(name, value)
+        self.state.halted = halted
+        self.hooks = kernel.instantiate(self.state, plan)
+
+    def launch(self, entry: str | None = None) -> None:
+        name = entry if entry is not None else self.plan.entry
+        fn = self.hooks["fns"].get(name)
+        if fn is None:
+            raise InterpretationError(f"unknown function or task '{name}'")
+        fn()
+
+    def drain(self) -> None:
+        self.hooks["drain"]()
+
+    @property
+    def settled(self) -> bool:
+        return self.hooks["settled"]()
+
+    def publish(self) -> None:
+        self.hooks["publish"]()
+
+    def stage_interior(self) -> int:
+        return self.hooks["stage_interior"]()
+
+    def stage_rim(self) -> None:
+        self.hooks["stage_rim"]()
+
+    def deliver(self) -> None:
+        self.hooks["deliver"]()
+
+    def result(self, rounds: int) -> ShardResult:
+        return ShardResult(
+            rounds=rounds,
+            counters=dict(self.state.counters),
+            variables=dict(self.state.variables),
+            halted=self.state.halted,
+            pe_memory_bytes=self.state.memory_in_use(),
+        )
+
+
+def _needed_neighbors(
+    plan: ExecutionPlan, geometry: ShardGeometry
+) -> tuple[tuple[int, ...], ...]:
+    """Which sibling shards each shard must await publications from.
+
+    A remote source *row* is read as a full-width strip of the row
+    snapshot, assembled by every shard of the source band — so all of that
+    band is needed.  A remote source *column* is only read over the
+    shard's own rows, so just the source stripe's shard in the reader's
+    band is needed.  Dirichlet off-fabric sources need nobody.
+    """
+    boxes = geometry.boxes()
+    kx, ky = geometry.kx, geometry.ky
+    needed: list[set[int]] = [set() for _ in boxes]
+    for index, (y0, y1, x0, x1) in enumerate(boxes):
+        band = index // kx
+        for table in plan.halo_tables.values():
+            for y in range(y0, y1):
+                src = table.rows[y]
+                if src is not None and not (y0 <= src < y1):
+                    source_band = geometry.band_of(src)
+                    for stripe in range(kx):
+                        needed[index].add(source_band * kx + stripe)
+            for x in range(x0, x1):
+                src = table.cols[x]
+                if src is not None and not (x0 <= src < x1):
+                    needed[index].add(band * kx + geometry.stripe_of(src))
+        needed[index].discard(index)
+    return tuple(tuple(sorted(s)) for s in needed)
+
+
 def _settled_consensus(flags) -> bool:
-    """Shared termination decision of one delivery round.
+    """Shared termination decision of one delivery round (interpreted path).
 
     True when every shard settled this round; raises when the SPMD
     uniformity contract broke (some settled, some did not).  Both the
@@ -361,6 +474,61 @@ def _settled_consensus(flags) -> bool:
     return False
 
 
+def _round_consensus(values, rounds: int) -> bool:
+    """Settled consensus over the monotone progress array (compiled path).
+
+    A shard writes ``-(rounds + 1)`` when it settled in ``rounds`` and
+    ``+(rounds + 1)`` when it did not.  Because the single barrier lets a
+    fast sibling race one round ahead before a slow one reads consensus,
+    the values are monotone round stamps rather than booleans: a raced
+    ``±(rounds + 2)`` stamp proves the sibling did *not* settle in this
+    round, so it compares unequal to ``-(rounds + 1)`` and is counted
+    unsettled — exactly right.
+    """
+    settled_value = -(rounds + 1)
+    if all(value == settled_value for value in values):
+        return True
+    if any(value == settled_value for value in values):
+        raise InterpretationError(
+            "shards diverged: the SPMD program settled on some shards "
+            "but not others"
+        )
+    return False
+
+
+def _await_publications(
+    pub_rounds, progress, needed: tuple[int, ...], target: int, barrier
+) -> None:
+    """Spin until every needed sibling published round ``target`` seams.
+
+    A sibling that settled (negative progress stamp) publishes nothing and
+    is excused — the round is then doomed to a divergence error at the
+    barrier, but must not hang first.  A broken barrier (sibling abort)
+    raises :class:`threading.BrokenBarrierError` so the parent's symptom
+    deferral treats it like any other barrier break.
+    """
+    if not needed:
+        return
+    deadline = time.monotonic() + SYNC_TIMEOUT_SECONDS
+    spins = 0
+    while True:
+        if all(
+            pub_rounds[sibling] >= target or progress[sibling] < 0
+            for sibling in needed
+        ):
+            return
+        if getattr(barrier, "broken", False):
+            raise threading.BrokenBarrierError(
+                "a sibling shard aborted during the publication wait"
+            )
+        if time.monotonic() > deadline:
+            raise InterpretationError(
+                "timed out waiting for sibling shards to publish seam data"
+            )
+        spins += 1
+        time.sleep(0 if spins < 200 else 0.0005)
+
+
 def _run_shard_loop(
     runner: ShardRunner,
     entry: str | None,
@@ -369,7 +537,7 @@ def _run_shard_loop(
     settled_flags,
     barrier,
 ) -> ShardResult:
-    """The shard lifecycle: launch, then barrier-stepped delivery rounds.
+    """The interpreted shard lifecycle: two barriers per delivery round.
 
     Each round has two rendezvous points: after every shard has drained
     its tasks (which also publishes and checks the per-shard settled
@@ -399,6 +567,54 @@ def _run_shard_loop(
     raise InterpretationError(f"simulation exceeded {max_rounds} rounds")
 
 
+def _run_compiled_shard_loop(
+    runner: CompiledShardRunner,
+    entry: str | None,
+    max_rounds: int,
+    index: int,
+    progress,
+    pub_rounds,
+    needed: tuple[int, ...],
+    barrier,
+) -> ShardResult:
+    """The compiled shard lifecycle: one barrier per delivery round.
+
+    Interior staging needs no rendezvous (its sources live inside the box
+    and every sibling writes only its own box), so it overlaps with
+    sibling drains.  Only the rim waits — and only for the publication
+    flags of the shards it actually reads, not a global barrier.  The
+    single barrier at the end of the round is also the consensus point;
+    publications for the *next* round cannot overwrite a snapshot a slow
+    sibling still reads, because the writer would first have to pass this
+    round's barrier, which the reader has not reached yet.
+    """
+    runner.launch(entry)
+    rounds = 0
+    for _ in range(max_rounds):
+        runner.drain()
+        settled = runner.settled
+        progress[index] = -(rounds + 1) if settled else (rounds + 1)
+        if not settled:
+            runner.publish()
+            pub_rounds[index] = rounds + 1
+            staged = runner.stage_interior()
+            if staged == 0:
+                raise InterpretationError(
+                    "deadlock: PEs are neither halted nor waiting on an "
+                    "exchange"
+                )
+            _await_publications(
+                pub_rounds, progress, needed, rounds + 1, barrier
+            )
+            runner.stage_rim()
+            runner.deliver()
+        barrier.wait(SYNC_TIMEOUT_SECONDS)
+        if _round_consensus(progress[:], rounds):
+            return runner.result(rounds)
+        rounds += 1
+    raise InterpretationError(f"simulation exceeded {max_rounds} rounds")
+
+
 def _shard_worker(
     image: ProgramImage,
     plan: ExecutionPlan,
@@ -413,7 +629,7 @@ def _shard_worker(
     variables: dict[str, float],
     halted: bool,
 ) -> None:
-    """Entry point of one forked shard process."""
+    """Entry point of one forked shard process (interpreted fallback)."""
     try:
         runner = ShardRunner(
             image, plan, full_buffers, box, variables=variables, halted=halted
@@ -431,6 +647,223 @@ def _shard_worker(
         results.put((index, "error", traceback.format_exc()))
 
 
+def _pool_worker(
+    connection,
+    plan: ExecutionPlan,
+    kernel: CompiledKernel,
+    full_buffers: dict[str, np.ndarray],
+    box: tuple[int, int, int, int],
+    snapshots: dict[int, tuple[np.ndarray, np.ndarray]],
+    index: int,
+    progress,
+    pub_rounds,
+    needed: tuple[int, ...],
+    barrier,
+) -> None:
+    """Entry point of one persistent pool worker (compiled shards).
+
+    Parks on the command pipe between runs; a closed pipe (parent exited
+    or discarded the pool) or a ``stop`` command ends the worker.  Any
+    failure aborts the barrier, reports the traceback and ends the worker
+    — the parent discards the whole pool and re-forks on the next run.
+    """
+    while True:
+        try:
+            command = connection.recv()
+        except (EOFError, OSError):
+            break
+        if command[0] != "run":
+            break
+        _, entry, max_rounds, variables, halted = command
+        try:
+            runner = CompiledShardRunner(
+                plan,
+                kernel,
+                full_buffers,
+                box,
+                snapshots,
+                variables=variables,
+                halted=halted,
+            )
+            result = _run_compiled_shard_loop(
+                runner, entry, max_rounds, index,
+                progress, pub_rounds, needed, barrier,
+            )
+            connection.send(("ok", result))
+        except BaseException:
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+            try:
+                connection.send(("error", traceback.format_exc()))
+            except Exception:
+                pass
+            break
+
+
+def _close_pool(workers, connections) -> None:
+    """Finalizer for a shard pool: must not reference pool or executor."""
+    for connection in connections:
+        try:
+            connection.send(("stop",))
+        except Exception:
+            pass
+    for connection in connections:
+        try:
+            connection.close()
+        except Exception:
+            pass
+    for worker in workers:
+        worker.join(timeout=5)
+    for worker in workers:
+        if worker.is_alive():
+            worker.terminate()
+    for worker in workers:
+        worker.join(timeout=30)
+
+
+class _ShardPool:
+    """A persistent fork-pool of compiled shard workers.
+
+    Forked once per executor (sharing image, plan, compiled kernels and
+    the shared-memory buffers/snapshots by address-space inheritance) and
+    reused across runs: each ``run`` resets the shared round state, pipes
+    one command per worker, and collects one result per worker.  Workers
+    are daemonic and additionally bounded by a ``weakref.finalize`` on the
+    pool, so dropping the executor reaps them promptly.
+    """
+
+    def __init__(self, executor: "TiledExecutor"):
+        context = multiprocessing.get_context("fork")
+        count = len(executor.boxes)
+        self.barrier = context.Barrier(count)
+        #: signed per-shard round stamps (see :func:`_round_consensus`).
+        self.progress = multiprocessing.RawArray("q", count)
+        #: highest round each shard has published seams for (1-based).
+        self.pub_rounds = multiprocessing.RawArray("q", count)
+        self.connections = []
+        self.workers = []
+        needed = executor._needed or tuple(() for _ in range(count))
+        for index, box in enumerate(executor.boxes):
+            parent_end, child_end = context.Pipe()
+            worker = context.Process(
+                target=_pool_worker,
+                args=(
+                    child_end,
+                    executor.plan,
+                    executor._kernels[index],
+                    executor.buffers,
+                    box,
+                    executor._snapshots,
+                    index,
+                    self.progress,
+                    self.pub_rounds,
+                    needed[index],
+                    self.barrier,
+                ),
+                daemon=True,
+            )
+            worker.start()
+            child_end.close()
+            self.connections.append(parent_end)
+            self.workers.append(worker)
+        self._finalizer = weakref.finalize(
+            self, _close_pool, self.workers, self.connections
+        )
+
+    @property
+    def healthy(self) -> bool:
+        return all(worker.is_alive() for worker in self.workers)
+
+    def close(self) -> None:
+        self._finalizer()
+
+    def run(
+        self,
+        entry: str | None,
+        max_rounds: int,
+        variables: dict[str, float],
+        halted: bool,
+    ) -> list[ShardResult]:
+        for index in range(len(self.workers)):
+            self.progress[index] = 0
+            self.pub_rounds[index] = 0
+        command = ("run", entry, max_rounds, dict(variables), halted)
+        for connection in self.connections:
+            connection.send(command)
+        results: dict[int, ShardResult] = {}
+        failure: str | None = None
+        symptom: str | None = None
+        pending = dict(enumerate(self.connections))
+        # Workers report once, after their whole run: poll with a short
+        # timeout and keep waiting as long as they are alive, so a long
+        # simulation is never killed by the sync timeout (which bounds
+        # individual barrier waits, not total runtime).  Only a worker
+        # that died without reporting is a failure.
+        grace_polls = 0
+        while pending and failure is None:
+            ready = multiprocessing.connection.wait(
+                list(pending.values()), timeout=1.0
+            )
+            if not ready:
+                if any(
+                    not self.workers[index].is_alive() for index in pending
+                ):
+                    grace_polls += 1
+                    if grace_polls >= 5:
+                        failure = "shard worker died without reporting a result"
+                continue
+            grace_polls = 0
+            by_connection = {
+                id(connection): index
+                for index, connection in pending.items()
+            }
+            for connection in ready:
+                index = by_connection[id(connection)]
+                try:
+                    status, payload = connection.recv()
+                except (EOFError, OSError):
+                    failure = "shard worker died without reporting a result"
+                    break
+                if status == "error":
+                    if "BrokenBarrierError" in payload and (
+                        set(pending) - {index}
+                    ):
+                        # A sibling's abort broke this shard out of its
+                        # barrier or publication wait: a symptom, not the
+                        # diagnosis.  Keep draining for the shard that
+                        # aborted.
+                        symptom = payload
+                        del pending[index]
+                        continue
+                    failure = payload
+                    break
+                results[index] = payload
+                del pending[index]
+        if failure is None and symptom is not None:
+            failure = symptom
+        if failure is not None:
+            self.close()
+            raise InterpretationError(f"tiled shard worker failed:\n{failure}")
+        return [results[index] for index in range(len(self.workers))]
+
+
+def _shard_kernel_store():
+    """The fleet-wide kernel source store, or None when unavailable.
+
+    Imported lazily: the executor layer must stay importable without the
+    service package (and any cache-directory trouble degrades to
+    process-local kernel caching, never to an error).
+    """
+    try:
+        from repro.service.kernels import KernelSourceStore
+
+        return KernelSourceStore()
+    except Exception:
+        return None
+
+
 @register_executor
 class TiledExecutor(Executor):
     """Partition the fabric into shards; replay the plan on a process pool."""
@@ -445,8 +878,9 @@ class TiledExecutor(Executor):
         plan: ExecutionPlan | None = None,
     ):
         super().__init__(image, width, height, plan)
-        extent = shard_extent(width, height)
-        self.boxes = shard_boxes(width, height, extent)
+        kx, ky = shard_grid(width, height)
+        self.geometry = ShardGeometry.build(width, height, kx, ky)
+        self.boxes = self.geometry.boxes()
         #: anonymous shared-memory backing for every program buffer, so
         #: forked shard workers and the parent see one coherent grid.
         self._shared = {
@@ -467,6 +901,67 @@ class TiledExecutor(Executor):
         self._pe_counters: dict[str, int] = new_pe_counters()
         self._variables: dict[str, float] = dict(self.plan.variables)
         self._halted = False
+        #: one compiled kernel per shard box, or None -> interpreted shards.
+        self._kernels: tuple[CompiledKernel, ...] | None = None
+        #: why shard code generation was declined, for diagnostics/tests.
+        self.tiled_fallback_reason: str | None = None
+        #: content fingerprints of the shard kernels (None on fallback).
+        self.kernel_fingerprints: tuple[str, ...] | None = None
+        self._snapshots: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
+        self._snapshot_raw: list = []
+        self._needed: tuple[tuple[int, ...], ...] | None = None
+        self._pool: _ShardPool | None = None
+        self._compile_shard_kernels()
+
+    def _compile_shard_kernels(self) -> None:
+        store = _shard_kernel_store()
+        kernels: list[CompiledKernel] = []
+        try:
+            for box in self.boxes:
+                kernels.append(
+                    get_kernel(
+                        self.image,
+                        self.plan,
+                        store=store,
+                        box=box,
+                        geometry=self.geometry,
+                    )
+                )
+        except KernelCodegenError as error:
+            self.tiled_fallback_reason = str(error)
+            return
+        self._kernels = tuple(kernels)
+        self.kernel_fingerprints = tuple(k.fingerprint for k in kernels)
+        self._needed = _needed_neighbors(self.plan, self.geometry)
+
+    def _ensure_snapshots(self) -> None:
+        """Allocate the shared seam snapshots the shard kernels bind.
+
+        Per exchange eid: a ``(published rows, fabric width, span)`` row
+        strip and a ``(fabric height, published cols, span)`` column strip,
+        both RawArray-backed so pool workers inherit them writable.
+        """
+        if self._snapshots is not None:
+            return
+        meta = self._kernels[0].meta or {"exchanges": []}
+        pub_rows = meta.get("pub_rows", 0)
+        pub_cols = meta.get("pub_cols", 0)
+        snapshots: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for eid, span in meta["exchanges"]:
+            row_elements = pub_rows * self.width * span
+            col_elements = self.height * pub_cols * span
+            row_raw = multiprocessing.RawArray("f", max(1, row_elements))
+            col_raw = multiprocessing.RawArray("f", max(1, col_elements))
+            self._snapshot_raw.extend((row_raw, col_raw))
+            snapshots[eid] = (
+                np.frombuffer(
+                    row_raw, dtype=np.float32, count=row_elements
+                ).reshape(pub_rows, self.width, span),
+                np.frombuffer(
+                    col_raw, dtype=np.float32, count=col_elements
+                ).reshape(self.height, pub_cols, span),
+            )
+        self._snapshots = snapshots
 
     # ------------------------------------------------------------------ #
     # Host-side data movement
@@ -513,12 +1008,85 @@ class TiledExecutor(Executor):
 
     def _run_rounds(self, max_rounds: int) -> SimulationStatistics:
         entry = self._entry
-        if len(self.boxes) > 1 and "fork" in multiprocessing.get_all_start_methods():
+        forkable = (
+            len(self.boxes) > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if self._kernels is not None:
+            self._ensure_snapshots()
+            if forkable:
+                results = self._run_pooled(entry, max_rounds)
+            else:
+                results = self._run_sequential_compiled(entry, max_rounds)
+        elif forkable:
             results = self._run_forked(entry, max_rounds)
         else:
             results = self._run_sequential(entry, max_rounds)
         self._fold_results(results)
         return self.statistics
+
+    # -- compiled shards ------------------------------------------------- #
+
+    def _run_pooled(
+        self, entry: str | None, max_rounds: int
+    ) -> list[ShardResult]:
+        """Run the compiled shards on the persistent worker pool,
+        re-forking it if a previous run left it broken."""
+        if self._pool is not None and not self._pool.healthy:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            self._pool = _ShardPool(self)
+        try:
+            return self._pool.run(
+                entry, max_rounds, self._variables, self._halted
+            )
+        except BaseException:
+            pool, self._pool = self._pool, None
+            pool.close()
+            raise
+
+    def _run_sequential_compiled(
+        self, entry: str | None, max_rounds: int
+    ) -> list[ShardResult]:
+        """Drive the compiled shards in-process on the overlapped
+        schedule (1-shard grids and fork-less platforms)."""
+        runners = [
+            CompiledShardRunner(
+                self.plan,
+                kernel,
+                self.buffers,
+                box,
+                self._snapshots,
+                variables=dict(self._variables),
+                halted=self._halted,
+            )
+            for box, kernel in zip(self.boxes, self._kernels)
+        ]
+        for runner in runners:
+            runner.launch(entry)
+        rounds = 0
+        for _ in range(max_rounds):
+            for runner in runners:
+                runner.drain()
+            if _settled_consensus([runner.settled for runner in runners]):
+                return [runner.result(rounds) for runner in runners]
+            for runner in runners:
+                runner.publish()
+            staged = sum(runner.stage_interior() for runner in runners)
+            if staged == 0:
+                raise InterpretationError(
+                    "deadlock: PEs are neither halted nor waiting on an "
+                    "exchange"
+                )
+            for runner in runners:
+                runner.stage_rim()
+            for runner in runners:
+                runner.deliver()
+            rounds += 1
+        raise InterpretationError(f"simulation exceeded {max_rounds} rounds")
+
+    # -- interpreted shards (codegen fallback) --------------------------- #
 
     def _run_sequential(
         self, entry: str | None, max_rounds: int

@@ -33,6 +33,7 @@ run-level artifact fingerprints can fold the planning semantics in.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
@@ -143,6 +144,90 @@ def build_halo_table(
         cols=fold_table(boundary, dx, width),
         fill_value=boundary.value,
     )
+
+
+@dataclass(frozen=True)
+class ShardGeometry:
+    """A ``kx x ky`` rectangular decomposition of the fabric into shards.
+
+    ``col_edges``/``row_edges`` are the stripe/band boundaries: shard
+    ``(i, j)`` owns columns ``[col_edges[i], col_edges[i+1])`` and rows
+    ``[row_edges[j], row_edges[j+1])``.  Bands are nearly equal — the first
+    ``extent % k`` bands are one wider — matching the historical tiled
+    decomposition.  The geometry is the shared vocabulary between the plan
+    (seam publication sets), the codegen (shard-box kernels) and the tiled
+    executor (worker pool layout), so it canonicalises for fingerprints.
+    """
+
+    row_edges: tuple[int, ...]
+    col_edges: tuple[int, ...]
+
+    @staticmethod
+    def _edges(extent: int, k: int) -> tuple[int, ...]:
+        base, remainder = divmod(extent, k)
+        edges = [0]
+        for i in range(k):
+            edges.append(edges[-1] + base + (1 if i < remainder else 0))
+        return tuple(edges)
+
+    @classmethod
+    def build(cls, width: int, height: int, kx: int, ky: int) -> "ShardGeometry":
+        if not (1 <= kx <= width and 1 <= ky <= height):
+            raise ValueError(
+                f"shard grid {kx}x{ky} does not fit a {width}x{height} fabric"
+            )
+        return cls(row_edges=cls._edges(height, ky), col_edges=cls._edges(width, kx))
+
+    @property
+    def kx(self) -> int:
+        return len(self.col_edges) - 1
+
+    @property
+    def ky(self) -> int:
+        return len(self.row_edges) - 1
+
+    def band_of(self, row: int) -> int:
+        """The index of the row band containing fabric row ``row``."""
+        return bisect_right(self.row_edges, row) - 1
+
+    def stripe_of(self, col: int) -> int:
+        """The index of the column stripe containing fabric column ``col``."""
+        return bisect_right(self.col_edges, col) - 1
+
+    def boxes(self) -> tuple[tuple[int, int, int, int], ...]:
+        """All shard boxes ``(y0, y1, x0, x1)``, row-major (bands outer)."""
+        return tuple(
+            (self.row_edges[j], self.row_edges[j + 1],
+             self.col_edges[i], self.col_edges[i + 1])
+            for j in range(self.ky)
+            for i in range(self.kx)
+        )
+
+    def canonical(self) -> dict:
+        return {"row_edges": list(self.row_edges), "col_edges": list(self.col_edges)}
+
+
+def seam_publication(
+    plan: "ExecutionPlan", geometry: ShardGeometry
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """The fabric rows/columns shards must publish into seam snapshots.
+
+    A row ``r`` is published when some halo direction makes a destination
+    row in a *different* band read from ``r`` — under periodic folds that
+    can be a far edge, not just a band neighbour.  Columns likewise for
+    stripes.  The result is sorted, so the publication slot of a row/column
+    is its index here; every shard-box kernel agrees on the layout.
+    """
+    pub_rows: set[int] = set()
+    pub_cols: set[int] = set()
+    for table in plan.halo_tables.values():
+        for y, src in enumerate(table.rows):
+            if src is not None and geometry.band_of(y) != geometry.band_of(src):
+                pub_rows.add(src)
+        for x, src in enumerate(table.cols):
+            if src is not None and geometry.stripe_of(x) != geometry.stripe_of(src):
+                pub_cols.add(src)
+    return tuple(sorted(pub_rows)), tuple(sorted(pub_cols))
 
 
 class ExecutionPlan:

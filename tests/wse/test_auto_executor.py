@@ -1,0 +1,277 @@
+"""The ``auto`` dispatcher: decision table, calibration, delegation parity.
+
+The dispatcher's contract has three layers, each covered here: the
+*decision procedure* (recorded trajectory rows beat the analytic model,
+the model's ranking matches the machine-independent intuition), the
+*calibration* of the host cost model against a recorded trajectory
+snapshot, and the *delegation* (an ``auto`` run is indistinguishable from
+running the chosen backend directly, plus the stamped decision metadata).
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.frontends.common import (
+    Constant,
+    FieldAccess,
+    FieldDecl,
+    StencilEquation,
+    StencilProgram,
+)
+from repro.tests_support import run_on_executor
+from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
+from repro.wse.executors.auto import (
+    FORCE_ENV_VAR,
+    BackendSelector,
+    load_recorded_rows,
+)
+from repro.wse.executors.base import SimulationStatistics
+from repro.wse.executors.tiled import SHARD_ENV_VAR
+from repro.wse.perf_model import predict_host_seconds
+from repro.wse.simulator import WseSimulator
+
+
+def _star_program(nx, ny, nz, steps=2, name="auto_probe"):
+    u = lambda dx, dy, dz: FieldAccess("u", (dx, dy, dz))
+    expression = (
+        u(0, 0, 0)
+        + u(1, 0, 0)
+        + u(-1, 0, 0)
+        + u(0, 1, 0)
+        + u(0, -1, 0)
+        + u(0, 0, 1)
+    ) * Constant(0.25)
+    return StencilProgram(
+        name=name,
+        fields=[FieldDecl("u", (nx, ny, nz)), FieldDecl("v", (nx, ny, nz))],
+        equations=[StencilEquation("v", expression)],
+        time_steps=steps,
+    )
+
+
+def _compiled(nx, ny, nz=8, steps=2, name="auto_probe"):
+    program = _star_program(nx, ny, nz, steps, name)
+    result = compile_stencil_program(
+        program, PipelineOptions(grid_width=nx, grid_height=ny, num_chunks=2)
+    )
+    return program, result.program_module
+
+
+#: a frozen snapshot of recorded BENCH_simulator.json rows (the live file
+#: is gitignored and host-specific; the calibration contract is that the
+#: analytic model rank-orders backends the same way a real recording did).
+#: Grouped by grid, with the (depth, rounds) the recording benchmark used.
+RECORDED_SNAPSHOT = {
+    ("1x1", 32, 8): {
+        "reference": 0.000468,
+        "vectorized": 0.001243,
+        "compiled": 0.001244,
+    },
+    ("2x2", 32, 8): {
+        "reference": 0.002901,
+        "vectorized": 0.001096,
+        "compiled": 0.00207,
+    },
+    ("4x4", 32, 8): {
+        "reference": 0.00747,
+        "vectorized": 0.00075,
+        "compiled": 0.001627,
+    },
+    ("8x8", 32, 8): {
+        "reference": 0.018742,
+        "vectorized": 0.000572,
+        "compiled": 0.001179,
+    },
+    ("64x64", 256, 48): {
+        "vectorized": 0.282385,
+        "compiled": 0.156278,
+        "tiled": 0.430783,
+    },
+    ("128x128", 64, 16): {
+        "vectorized": 0.144028,
+        "compiled": 0.077495,
+    },
+}
+
+
+class TestDecisionTable:
+    def test_small_grid_on_one_cpu_avoids_tiled_and_reference(self, monkeypatch):
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        selector = BackendSelector(records=[], cpus=1)
+        assert "tiled" not in selector.candidates(8, 8)
+        choice, rationale = selector.choose(8, 8, depth=32)
+        assert choice == "vectorized"
+        assert "8x8" in rationale and "host cost model" in rationale
+
+    def test_single_pe_grid_prefers_the_reference_interpreter(self, monkeypatch):
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        selector = BackendSelector(records=[], cpus=1)
+        choice, _ = selector.choose(1, 1, depth=32)
+        assert choice == "reference"
+
+    def test_large_grid_on_one_cpu_prefers_compiled(self, monkeypatch):
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        selector = BackendSelector(records=[], cpus=1)
+        choice, _ = selector.choose(128, 128, depth=64)
+        assert choice == "compiled"
+
+    def test_large_grid_with_many_cpus_prefers_tiled(self, monkeypatch):
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        selector = BackendSelector(records=[], cpus=16)
+        assert "tiled" in selector.candidates(256, 256)
+        choice, rationale = selector.choose(256, 256, depth=64)
+        assert choice == "tiled"
+        assert "tiled" in rationale
+
+    def test_recorded_rows_override_the_model(self):
+        records = [
+            {"name": "J", "grid": "8x8", "executor": "vectorized",
+             "seconds": 0.9, "speedup": 1.0},
+            {"name": "J", "grid": "8x8", "executor": "compiled",
+             "seconds": 0.1, "speedup": 9.0, "cache": "warm"},
+            {"name": "J", "grid": "8x8", "executor": "reference",
+             "seconds": 1.5, "speedup": 0.6},
+        ]
+        selector = BackendSelector(records=records, cpus=1)
+        choice, rationale = selector.choose(8, 8, depth=32)
+        assert choice == "compiled"
+        assert "recorded on 8x8" in rationale
+
+    def test_warm_rows_beat_cold_rows_for_the_same_backend(self):
+        records = [
+            {"name": "J", "grid": "8x8", "executor": "compiled",
+             "seconds": 5.0, "speedup": 1.0, "cache": "cold"},
+            {"name": "J", "grid": "8x8", "executor": "compiled",
+             "seconds": 0.1, "speedup": 50.0, "cache": "warm"},
+        ]
+        selector = BackendSelector(records=records, cpus=1)
+        seconds, basis = selector._recorded_seconds("compiled", 8, 8)
+        assert seconds == 0.1
+        assert basis == "recorded on 8x8"
+
+    def test_near_miss_rows_scale_by_pe_count(self):
+        records = [
+            {"name": "J", "grid": "8x8", "executor": "vectorized",
+             "seconds": 0.064, "speedup": 1.0},
+        ]
+        selector = BackendSelector(records=records, cpus=1)
+        seconds, basis = selector._recorded_seconds("vectorized", 16, 16)
+        assert basis == "scaled from recorded 8x8"
+        assert seconds == pytest.approx(0.064 * (256 / 64))
+
+    def test_missing_trajectory_degrades_to_the_model(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(
+            "REPRO_AUTO_TRAJECTORY", str(tmp_path / "BENCH_absent.json")
+        )
+        assert load_recorded_rows() == []
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("key", sorted(RECORDED_SNAPSHOT, key=str))
+    def test_model_rank_orders_backends_like_the_recording(self, key):
+        """For every recorded grid, the analytic model must order the
+        backends exactly as the recorded wall times did — otherwise the
+        dispatcher would contradict the profile it claims to be guided by
+        whenever the trajectory file is absent."""
+        grid, depth, rounds = key
+        recorded = RECORDED_SNAPSHOT[key]
+        w, _, h = grid.partition("x")
+        pes = int(w) * int(h)
+        predicted = {
+            executor: predict_host_seconds(
+                executor,
+                pes=pes,
+                depth=depth,
+                rounds=rounds,
+                # The recording host ran affinity-restricted to one CPU
+                # with the session's 2x2 shard override.
+                cpus=1,
+                shards=4,
+            )
+            for executor in recorded
+        }
+        recorded_rank = sorted(recorded, key=recorded.__getitem__)
+        predicted_rank = sorted(predicted, key=predicted.__getitem__)
+        assert predicted_rank == recorded_rank
+
+    def test_unknown_backend_is_diagnosed(self):
+        with pytest.raises(KeyError, match="no host cost model"):
+            predict_host_seconds("quantum", pes=1, depth=1, rounds=1)
+
+
+class TestDelegation:
+    def test_env_selected_auto_matches_its_delegate_end_to_end(self, monkeypatch):
+        """`REPRO_EXECUTOR=auto` must be a drop-in: byte-identical fields
+        and equal statistics versus running the chosen backend directly."""
+        program, module = _compiled(8, 8, name="auto_parity")
+        monkeypatch.setenv("REPRO_EXECUTOR", "auto")
+        simulator = WseSimulator(module)
+        assert simulator.executor.name == "auto"
+        choice = simulator.executor.backend_name
+        monkeypatch.delenv("REPRO_EXECUTOR")
+
+        auto_fields, auto_stats = run_on_executor("auto", program, module)
+        direct_fields, direct_stats = run_on_executor(choice, program, module)
+        for name, expected in direct_fields.items():
+            assert auto_fields[name].tobytes() == expected.tobytes()
+        assert auto_stats == direct_stats
+        assert auto_stats.backend_decision == choice
+        assert auto_stats.backend_rationale
+
+    def test_forced_backend_is_obeyed_and_stamped(self, monkeypatch):
+        monkeypatch.setenv(FORCE_ENV_VAR, "reference")
+        program, module = _compiled(4, 4, name="auto_forced")
+        auto_fields, auto_stats = run_on_executor("auto", program, module)
+        assert auto_stats.backend_decision == "reference"
+        assert FORCE_ENV_VAR in auto_stats.backend_rationale
+        monkeypatch.delenv(FORCE_ENV_VAR)
+        ref_fields, ref_stats = run_on_executor("reference", program, module)
+        for name, expected in ref_fields.items():
+            assert auto_fields[name].tobytes() == expected.tobytes()
+        assert auto_stats == ref_stats
+
+    def test_per_pe_surface_passes_through(self):
+        _, module = _compiled(4, 4, name="auto_surface")
+        auto = WseSimulator(module, executor="auto")
+        direct = WseSimulator(
+            module, executor=auto.executor.backend_name
+        )
+        for simulator in (auto, direct):
+            z = simulator.pe(0, 0).buffers["u"].shape[0]
+            simulator.load_field("u", np.ones((4, 4, z), dtype=np.float32))
+            simulator.execute()
+        assert len(auto.grid) == 4 and all(len(row) == 4 for row in auto.grid)
+        centre_auto, centre_direct = auto.pe(2, 2), direct.pe(2, 2)
+        assert dict(centre_auto.counters) == dict(centre_direct.counters)
+        for name, column in centre_direct.buffers.items():
+            assert centre_auto.buffers[name].tobytes() == column.tobytes()
+
+
+class TestDecisionMetadata:
+    def test_metadata_is_excluded_from_statistics_equality(self):
+        stamped = SimulationStatistics(
+            rounds=3, backend_decision="compiled", backend_rationale="why"
+        )
+        plain = SimulationStatistics(rounds=3)
+        assert stamped == plain
+
+    def test_merge_passes_metadata_through_without_folding(self):
+        stamped = SimulationStatistics(
+            rounds=2, backend_decision="tiled", backend_rationale="fast"
+        )
+        other = SimulationStatistics(rounds=1, max_pe_memory_bytes=64)
+        merged = SimulationStatistics.merge([stamped, other])
+        assert merged.rounds == 3
+        assert merged.max_pe_memory_bytes == 64
+        assert merged.backend_decision == "tiled"
+        assert merged.backend_rationale == "fast"
+
+    def test_metadata_reaches_the_serialised_artifact_shape(self):
+        payload = asdict(
+            SimulationStatistics(backend_decision="vectorized")
+        )
+        assert payload["backend_decision"] == "vectorized"
+        assert "backend_rationale" in payload
+        assert "_METADATA_FIELDS" not in payload

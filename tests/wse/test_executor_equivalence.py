@@ -25,7 +25,7 @@ from repro.wse.executors.vectorized import VectorizedExecutor
 from repro.wse.simulator import WseSimulator
 
 #: every backend validated bit-for-bit against the reference interpreter.
-DERIVED_EXECUTORS = ("vectorized", "tiled", "compiled")
+DERIVED_EXECUTORS = ("vectorized", "tiled", "compiled", "auto")
 
 
 class TestGoldenEquivalence:

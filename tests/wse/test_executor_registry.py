@@ -47,8 +47,11 @@ def program_module():
 
 
 class TestRegistryErrors:
-    def test_all_four_backends_are_registered(self):
+    def test_all_five_backends_are_registered(self):
+        from repro.wse.executors.auto import AutoExecutor
+
         assert available_executors() == (
+            "auto",
             "compiled",
             "reference",
             "tiled",
@@ -58,6 +61,7 @@ class TestRegistryErrors:
         assert executor_by_name("vectorized") is VectorizedExecutor
         assert executor_by_name("tiled") is TiledExecutor
         assert executor_by_name("compiled") is CompiledExecutor
+        assert executor_by_name("auto") is AutoExecutor
 
     def test_unknown_name_lists_every_registered_backend(self):
         with pytest.raises(KeyError, match="unknown executor 'warp'") as excinfo:

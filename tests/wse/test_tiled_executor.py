@@ -25,7 +25,7 @@ from repro.transforms.pipeline import PipelineOptions, compile_stencil_program
 from repro.wse.executors.tiled import (
     SHARD_ENV_VAR,
     shard_boxes,
-    shard_extent,
+    shard_grid,
 )
 from repro.wse.simulator import WseSimulator
 
@@ -58,9 +58,15 @@ def _compiled(nx, ny, nz=8, steps=2, name="tiled_probe"):
 
 class TestShardGeometry:
     def test_boxes_tile_the_fabric_exactly(self):
-        for width, height, extent in ((7, 5, 2), (8, 8, 3), (3, 3, 3), (5, 1, 1)):
-            boxes = shard_boxes(width, height, extent)
-            assert len(boxes) == extent * extent
+        for width, height, kx, ky in (
+            (7, 5, 2, 2),
+            (8, 8, 3, 3),
+            (3, 3, 3, 3),
+            (5, 1, 1, 1),
+            (9, 4, 3, 2),
+        ):
+            boxes = shard_boxes(width, height, kx, ky)
+            assert len(boxes) == kx * ky
             covered = np.zeros((height, width), dtype=int)
             for y0, y1, x0, x1 in boxes:
                 assert y0 < y1 and x0 < x1, "no shard may be empty"
@@ -68,32 +74,42 @@ class TestShardGeometry:
             assert np.all(covered == 1), "every PE in exactly one shard"
 
     def test_uneven_bands_stay_balanced(self):
-        boxes = shard_boxes(7, 7, 2)
+        boxes = shard_boxes(7, 7, 2, 2)
         widths = sorted({x1 - x0 for _, _, x0, x1 in boxes})
         assert widths == [3, 4]
 
-    def test_extent_clamps_to_the_fabric(self, monkeypatch):
+    def test_grid_clamps_to_the_fabric(self, monkeypatch):
         monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
-        assert shard_extent(1, 1, cpus=16) == 1
-        assert shard_extent(8, 1, cpus=16) == 1
-        assert shard_extent(8, 8, cpus=4) == 2
+        assert shard_grid(1, 1, cpus=16) == (1, 1)
+        assert shard_grid(8, 1, cpus=16) == (2, 1)  # long axis still splits
+        assert shard_grid(8, 8, cpus=4) == (2, 2)
 
-    def test_extent_auto_derives_from_usable_cpus(self, monkeypatch):
-        """Unset env: K² workers ≈ one per CPU, but never shards thinner
-        than MIN_SHARD_SIDE PEs per side and never more than one shard
-        per CPU's worth of parallelism."""
+    def test_grid_auto_derives_from_usable_cpus(self, monkeypatch):
+        """Unset env: kx*ky workers ≈ one per CPU, but never shards thinner
+        than MIN_SHARD_SIDE PEs along either axis."""
         monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
-        assert shard_extent(64, 64, cpus=1) == 1  # no CPUs, no forking
-        assert shard_extent(64, 64, cpus=4) == 2
-        assert shard_extent(64, 64, cpus=9) == 3
-        assert shard_extent(64, 64, cpus=16) == 4
-        assert shard_extent(64, 64, cpus=8) == 2  # isqrt, not ceil
-        # A wide but shallow fabric cannot host square-ish worker grids.
-        assert shard_extent(64, 4, cpus=16) == 1
+        assert shard_grid(64, 64, cpus=1) == (1, 1)  # no CPUs, no forking
+        assert shard_grid(64, 64, cpus=4) == (2, 2)
+        assert shard_grid(64, 64, cpus=9) == (3, 3)
+        assert shard_grid(64, 64, cpus=16) == (4, 4)
+        assert shard_grid(64, 64, cpus=8) == (4, 2)  # all 8 CPUs used
         # Plenty of CPUs never splits shards below MIN_SHARD_SIDE.
-        assert shard_extent(8, 8, cpus=64) == 2
+        assert shard_grid(8, 8, cpus=64) == (2, 2)
 
-    def test_auto_extent_reaches_the_executor(self, monkeypatch):
+    def test_ragged_fabrics_shard_along_their_long_axis(self, monkeypatch):
+        """Regression: the old square-extent heuristic collapsed 64x8 and
+        64x4 fabrics to a single shard because the short axis could not
+        host K bands; the per-axis clamp keeps the long axis parallel."""
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        assert shard_grid(64, 8, cpus=4) == (2, 2)
+        assert shard_grid(64, 8, cpus=16) == (8, 2)
+        assert shard_grid(64, 4, cpus=16) == (16, 1)
+        assert shard_grid(4, 64, cpus=8) == (1, 2)
+        for kx, ky in (shard_grid(64, 8, cpus=16), shard_grid(64, 4, cpus=16)):
+            for y0, y1, x0, x1 in shard_boxes(64, 8 if ky > 1 else 4, kx, ky):
+                assert (y1 - y0) >= 4 and (x1 - x0) >= 4
+
+    def test_auto_grid_reaches_the_executor(self, monkeypatch):
         monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
         monkeypatch.setattr(
             "repro.wse.executors.tiled.usable_cpu_count", lambda: 4
@@ -104,13 +120,15 @@ class TestShardGeometry:
 
     def test_env_override_and_validation(self, monkeypatch):
         monkeypatch.setenv(SHARD_ENV_VAR, "3")
-        assert shard_extent(9, 9) == 3
+        assert shard_grid(9, 9) == (3, 3)
+        # The override clamps per axis instead of failing on thin fabrics.
+        assert shard_grid(9, 2) == (3, 2)
         monkeypatch.setenv(SHARD_ENV_VAR, "0")
         with pytest.raises(ValueError, match="must be >= 1"):
-            shard_extent(9, 9)
+            shard_grid(9, 9)
         monkeypatch.setenv(SHARD_ENV_VAR, "many")
         with pytest.raises(ValueError, match="expected a positive integer"):
-            shard_extent(9, 9)
+            shard_grid(9, 9)
 
 
 class TestTiledEquivalence:
@@ -196,6 +214,52 @@ class TestRepeatedExecution:
         simulator.run()  # no launch in between: nothing to do
         assert simulator.read_field("v").tobytes() == fields_before
         assert simulator.statistics == stats_after_execute
+
+
+class TestCompiledShards:
+    def test_shard_kernels_compile_with_distinct_fingerprints(self):
+        """Fusable programs get one kernel per shard box, each fingerprinted
+        under the plan + box key (so the source store never cross-serves)."""
+        _, module = _compiled(8, 8, name="shard_kernels")
+        simulator = WseSimulator(module, executor="tiled")
+        executor = simulator.executor
+        assert executor.tiled_fallback_reason is None
+        assert executor.kernel_fingerprints is not None
+        assert len(executor.kernel_fingerprints) == len(executor.boxes)
+        assert len(set(executor.kernel_fingerprints)) == len(executor.boxes)
+
+    def test_shard_fingerprints_differ_from_the_full_grid_kernel(self):
+        from repro.wse.codegen import get_kernel
+
+        _, module = _compiled(8, 8, name="shard_vs_full")
+        simulator = WseSimulator(module, executor="tiled")
+        executor = simulator.executor
+        full = get_kernel(executor.image, executor.plan)
+        assert full.fingerprint not in executor.kernel_fingerprints
+
+    def test_worker_pool_is_reused_across_runs(self):
+        """The tentpole's pool contract: the second execute() must reuse
+        the forked workers, not pay fork + kernel binding again."""
+        program, module = _compiled(8, 8, name="pool_reuse")
+        simulator = WseSimulator(module, executor="tiled")
+        executor = simulator.executor
+        simulator.execute()
+        first_pool = executor._pool
+        if first_pool is None:
+            pytest.skip("platform without fork: no pool to reuse")
+        first_pids = [worker.pid for worker in first_pool.workers]
+        simulator.execute()
+        assert executor._pool is first_pool
+        assert [w.pid for w in executor._pool.workers] == first_pids
+        assert first_pool.healthy
+
+    def test_results_match_vectorized_through_the_pool(self):
+        program, module = _compiled(9, 9, name="pool_parity")
+        tiled_fields, tiled_stats = run_on_executor("tiled", program, module)
+        vec_fields, vec_stats = run_on_executor("vectorized", program, module)
+        for name, expected in vec_fields.items():
+            assert tiled_fields[name].tobytes() == expected.tobytes()
+        assert tiled_stats == vec_stats
 
 
 class TestForkedFailurePaths:
