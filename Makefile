@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench sim-bench tiled-check service service-smoke run-service-check queue-check boundary-check lint
+.PHONY: test bench sim-bench tiled-check service service-smoke run-service-check queue-check boundary-check csl-check lint
 
 # Tier-1 verification: the whole suite, fail fast.
 test:
@@ -78,6 +78,16 @@ queue-check:
 # explicitly, so a single run covers them regardless of REPRO_EXECUTOR.
 boundary-check:
 	$(PYTHON) -m pytest tests/wse/test_boundary_conditions.py -q
+
+# CSL front-door gate: the parser/lowering/diagnostic/round-trip suite,
+# then the handwritten 25-point seismic kernel diffed field-by-field
+# against the pipeline-generated code on two executors via the CLI.
+csl-check:
+	$(PYTHON) -m pytest tests/csl -q
+	$(PYTHON) -m repro.csl parse --dir examples/handwritten
+	$(PYTHON) -m repro.csl diff --csl examples/handwritten --benchmark Seismic \
+	  --grid 9x9 --nz 16 --time-steps 2 --num-chunks 1 \
+	  --executors reference,vectorized --fields u,v
 
 # No third-party linter is vendored; byte-compiling everything still catches
 # syntax errors and obvious breakage in one second.

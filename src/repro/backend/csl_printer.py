@@ -5,12 +5,19 @@ syntax-directed walk: buffers become ``@zeros`` declarations, tasks become
 ``task``/``@bind_local_task`` pairs, DSD builtins print as their ``@fadds``
 style calls, and the layout module prints ``@set_rectangle`` /
 ``@set_tile_code`` over the PE grid.
+
+The concrete spellings (builtin names, operator symbols, the communicate call
+schema) come from :mod:`repro.csl.surface`, which the text parser
+(:mod:`repro.csl.parser`) consumes too — printed output is a *lossless*
+encoding of the csl-ir module, so ``print → parse`` is a fixpoint (pinned by
+``tests/csl/test_roundtrip.py``).
 """
 
 from __future__ import annotations
 
 import io
 
+from repro.csl import surface
 from repro.dialects import arith, csl, memref, scf
 from repro.ir.attributes import (
     Attribute,
@@ -58,13 +65,7 @@ class CslPrinter:
 
     @staticmethod
     def _attr_text(attribute: Attribute) -> str:
-        if isinstance(attribute, IntAttr):
-            return str(attribute.value)
-        if isinstance(attribute, FloatAttr):
-            return repr(attribute.value)
-        if isinstance(attribute, StringAttr):
-            return f'"{attribute.data}"'
-        return str(attribute)
+        return surface.attr_text(attribute)
 
     def _operand(self, value: SSAValue) -> str:
         return self._names.get(id(value), f"v{id(value) % 1000}")
@@ -83,7 +84,12 @@ class CslPrinter:
         for op in module.ops:
             if isinstance(op, csl.ImportModuleOp):
                 name = self._name(op.result, "lib")
-                self._line(f'const {name} = @import_module("{op.module}");')
+                fields = ", ".join(
+                    f".{key} = {self._attr_text(value)}"
+                    for key, value in op.fields.items()
+                )
+                suffix = f", .{{ {fields} }}" if fields else ""
+                self._line(f'const {name} = @import_module("{op.module}"{suffix});')
             elif isinstance(op, csl.SetRectangleOp):
                 self._line("layout {")
                 self.indent += 1
@@ -180,15 +186,16 @@ class CslPrinter:
             self._names[id(op.result)] = op.var
         elif isinstance(op, csl.StoreVarOp):
             self._line(f"{op.var} = {self._operand(op.value)};")
-        elif isinstance(op, arith.AddiOp):
+        elif type(op) in surface.BINARY_OP_SYMBOLS:
             name = self._name(op.results[0], "t")
+            symbol = surface.BINARY_OP_SYMBOLS[type(op)]
             self._line(
-                f"const {name} = {self._operand(op.lhs)} + {self._operand(op.rhs)};"
+                f"const {name} = {self._operand(op.lhs)} {symbol} "
+                f"{self._operand(op.rhs)};"
             )
         elif isinstance(op, arith.CmpiOp):
             name = self._name(op.results[0], "cond")
-            comparison = {"slt": "<", "sle": "<=", "sgt": ">", "sge": ">=",
-                          "eq": "==", "ne": "!="}[op.predicate]
+            comparison = surface.CMP_PREDICATE_SYMBOLS[op.predicate]
             self._line(
                 f"const {name} = {self._operand(op.lhs)} {comparison} "
                 f"{self._operand(op.rhs)};"
@@ -213,12 +220,13 @@ class CslPrinter:
             name = self._name(op.result, "dsd")
             buffer_attr = op.attributes.get("buffer")
             buffer = buffer_attr.data if isinstance(buffer_attr, StringAttr) else "buffer"
+            index = "i" if op.stride == 1 else f"i * {op.stride}"
             if op.offset:
-                access = f"{buffer}[{op.offset} + i]"
+                access = f"{buffer}[{op.offset} + {index}]"
             else:
-                access = f"{buffer}[i]"
+                access = f"{buffer}[{index}]"
             self._line(
-                f"const {name} = @get_dsd(mem1d_dsd, "
+                f"const {name} = @get_dsd({surface.DSD_KIND_MEM1D}, "
                 f".{{ .tensor_access = |i|{{{op.length}}} -> {access} }});"
             )
         elif isinstance(op, csl.IncrementDsdOffsetOp):
@@ -235,13 +243,9 @@ class CslPrinter:
             operands = ", ".join(self._operand(value) for value in op.operands)
             self._line(f"{op.builtin_name}({operands});")
         elif isinstance(op, csl.CommsExchangeOp):
-            recv = op.recv_callback or "null"
-            self._line(
-                f"stencil_comms.communicate(&{self._operand(op.buffer)}, "
-                f"{op.num_chunks}, &{recv}, &{op.done_callback});"
-            )
+            self._print_communicate(op)
         elif isinstance(op, csl.UnblockCmdStreamOp):
-            self._line("sys_mod.unblock_cmd_stream();")
+            self._line(f"{surface.SYS_RECEIVER}.{surface.UNBLOCK_MEMBER}();")
         elif isinstance(op, csl.ReturnOp):
             self._line("return;")
         elif isinstance(op, scf.YieldOp):
@@ -255,6 +259,44 @@ class CslPrinter:
             )
         else:
             self._line(f"// <unprinted operation {op.name}>")
+
+    def _print_communicate(self, op: csl.CommsExchangeOp) -> None:
+        """The extended communicate call: every exchange attribute rides the
+        argument struct, so the printed text is a lossless encoding the
+        parser can rebuild the op from (the real runtime library accepts and
+        ignores extra comptime struct fields)."""
+        attributes = op.attributes
+        if "src_offset" not in attributes:
+            # hand-built images without the plan metadata: legacy short form
+            recv = op.recv_callback or "null"
+            self._line(
+                f"{surface.COMMS_RECEIVER}.{surface.COMMUNICATE_MEMBER}"
+                f"(&{self._operand(op.buffer)}, "
+                f"{op.num_chunks}, &{recv}, &{op.done_callback});"
+            )
+            return
+        directions = ", ".join(
+            f".{{ {dx}, {dy} }}" for dx, dy in op.directions
+        )
+        fields = [
+            f".num_chunks = {op.num_chunks}",
+            f".chunk_size = {attributes['chunk_size'].value}",
+            f".src_offset = {attributes['src_offset'].value}",
+            f".src_len = {attributes['src_len'].value}",
+            f".pattern = {op.pattern}",
+            f".recv_buffer = &{attributes['recv_buffer'].string_value}",
+            f".directions = .{{ {directions} }}",
+        ]
+        if op.coefficients is not None:
+            coefficients = ", ".join(repr(c) for c in op.coefficients)
+            fields.append(f".coefficients = .{{ {coefficients} }}")
+        if op.recv_callback:
+            fields.append(f".recv = &{op.recv_callback}")
+        fields.append(f".done = &{op.done_callback}")
+        self._line(
+            f"{surface.COMMS_RECEIVER}.{surface.COMMUNICATE_MEMBER}"
+            f"(&{self._operand(op.buffer)}, .{{ {', '.join(fields)} }});"
+        )
 
 
 def print_csl_module(module: csl.CslModuleOp) -> str:

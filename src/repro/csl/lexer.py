@@ -1,0 +1,169 @@
+"""Lexer for the supported CSL grammar subset.
+
+Produces a flat token stream with precise ``line:col`` positions (1-based,
+like every compiler the user has ever pasted output from).  All diagnostics in
+the frontend — lexing, parsing and lowering — derive from
+:class:`CslDiagnosticError`, which formats as ``file:line:col: message (at
+'token')`` so a failing handwritten kernel points at the offending source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CslDiagnosticError",
+    "CslSyntaxError",
+    "SourceLocation",
+    "Token",
+    "tokenize",
+]
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position inside one CSL source file."""
+
+    file: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}"
+
+
+class CslDiagnosticError(Exception):
+    """Base of every CSL frontend diagnostic; carries a source location."""
+
+    def __init__(self, message: str, loc: SourceLocation, token: str | None = None):
+        text = f"{loc}: {message}"
+        if token is not None:
+            text += f" (at '{token}')"
+        super().__init__(text)
+        self.reason = message
+        self.loc = loc
+        self.token = token
+
+
+class CslSyntaxError(CslDiagnosticError):
+    """A lexical or grammatical error in CSL source text."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # "ident" | "builtin" | "number" | "string" | "punct" | "eof"
+    text: str
+    loc: SourceLocation
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+
+#: multi-character punctuators, longest-match first
+_PUNCT2 = ("->", "+=", "<=", ">=", "==", "!=")
+_PUNCT1 = set("{}()[];:,.=<>+-*/&|")
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+def tokenize(text: str, file: str = "<csl>") -> list[Token]:
+    """Lex CSL source into tokens; raises :class:`CslSyntaxError` with the
+    exact ``file:line:col`` of any character the grammar subset rejects."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(text)
+
+    def loc() -> SourceLocation:
+        return SourceLocation(file, line, col)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "/" and text[i : i + 2] == "//":
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        start = loc()
+        if ch in _IDENT_START:
+            j = i
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token("ident", text[i:j], start))
+            advance(j - i)
+            continue
+        if ch == "@":
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            if j == i + 1:
+                raise CslSyntaxError("'@' must introduce a builtin name", start, "@")
+            tokens.append(Token("builtin", text[i:j], start))
+            advance(j - i)
+            continue
+        if ch in _DIGITS:
+            j = i
+            while j < n and text[j] in _DIGITS:
+                j += 1
+            if j < n and text[j] == ".":
+                j += 1
+                while j < n and text[j] in _DIGITS:
+                    j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k >= n or text[k] not in _DIGITS:
+                    raise CslSyntaxError(
+                        "malformed number literal exponent", start, text[i : j + 1]
+                    )
+                j = k
+                while j < n and text[j] in _DIGITS:
+                    j += 1
+            tokens.append(Token("number", text[i:j], start))
+            advance(j - i)
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] not in '"\n':
+                j += 1
+            if j >= n or text[j] != '"':
+                raise CslSyntaxError("unterminated string literal", start, '"')
+            tokens.append(Token("string", text[i + 1 : j], start))
+            advance(j - i + 1)
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCT2:
+            tokens.append(Token("punct", two, start))
+            advance(2)
+            continue
+        if ch in _PUNCT1:
+            tokens.append(Token("punct", ch, start))
+            advance(1)
+            continue
+        raise CslSyntaxError("unexpected character", start, ch)
+
+    tokens.append(Token("eof", "", SourceLocation(file, line, col)))
+    return tokens
+
+
+def number_value(token: Token) -> int | float:
+    """The numeric value of a ``number`` token (int unless '.'/exponent)."""
+    if "." in token.text or "e" in token.text or "E" in token.text:
+        return float(token.text)
+    return int(token.text)

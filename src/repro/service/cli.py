@@ -48,11 +48,13 @@ def _parse_grid(text: str) -> tuple[int, int]:
         ) from None
 
 
-def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_job_arguments(
+    parser: argparse.ArgumentParser, benchmarks_required: bool = True
+) -> None:
     """The benchmark/configuration arguments ``compile`` and ``run`` share."""
     parser.add_argument(
         "benchmarks",
-        nargs="+",
+        nargs="+" if benchmarks_required else "*",
         metavar="BENCH",
         help=f"benchmark names ({', '.join(b.name for b in ALL_BENCHMARKS)})",
     )
@@ -115,7 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help="end-to-end run jobs: compile, simulate, print field digests",
     )
-    _add_job_arguments(run_parser)
+    _add_job_arguments(run_parser, benchmarks_required=False)
+    run_parser.add_argument(
+        "--csl",
+        default=None,
+        metavar="DIR",
+        help="run handwritten CSL sources from DIR (*.csl: one program "
+        "module plus an optional layout) instead of a named benchmark; "
+        "parsed runs ride the same run cache",
+    )
     run_parser.add_argument(
         "--executor",
         default=None,
@@ -217,7 +227,81 @@ def _run_compile(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_csl(args: argparse.Namespace, out) -> int:
+    """``run --csl DIR``: parse handwritten sources, ride the run cache."""
+    import os
+
+    from repro.csl import CslDiagnosticError, parse_csl_sources
+
+    try:
+        service = RunService(cache_dir=args.cache_dir)
+        if args.executor is not None:
+            from repro.wse.executors import executor_by_name
+
+            executor_by_name(args.executor)  # friendly error before any work
+        sources: dict[str, str] = {}
+        for entry in sorted(os.listdir(args.csl)):
+            if entry.endswith(".csl"):
+                with open(
+                    os.path.join(args.csl, entry), "r", encoding="utf-8"
+                ) as handle:
+                    sources[entry] = handle.read()
+        if not sources:
+            raise FileNotFoundError(f"no .csl files found under '{args.csl}'")
+        # Parse eagerly so diagnostics surface before any run is submitted.
+        parse_csl_sources(sources)
+    except (KeyError, ValueError, OSError, CslDiagnosticError) as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    with service:
+        for round_index in range(args.repeat):
+            round_start = time.perf_counter()
+            hits_before = service.statistics.cache_hits
+            artifact = service.run_csl(
+                sources,
+                executor=args.executor,
+                seed=args.seed,
+                max_rounds=args.max_rounds,
+            )
+            elapsed = time.perf_counter() - round_start
+            hits = service.statistics.cache_hits - hits_before
+            digest_summary = ", ".join(
+                f"{name}={digest[:12]}"
+                for name, digest in sorted(artifact.field_digests.items())
+            )
+            print(
+                f"round {round_index + 1}/{args.repeat}: "
+                f"1 run in {elapsed * 1e3:.1f} ms "
+                f"({hits} served from run cache)",
+                file=out,
+            )
+            print(
+                f"  {artifact.fingerprint[:12]}  {artifact.program_name:<10} "
+                f"{artifact.executor}  "
+                f"{artifact.grid_width}x{artifact.grid_height}  "
+                f"{artifact.rounds} rounds  {digest_summary}",
+                file=out,
+            )
+        print(service.format_statistics(), file=out)
+    return 0
+
+
 def _run_run(args: argparse.Namespace, out) -> int:
+    if args.csl is not None:
+        if args.benchmarks:
+            print(
+                "error: benchmark names and --csl are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_csl(args, out)
+    if not args.benchmarks:
+        print(
+            "error: name at least one benchmark or pass --csl DIR",
+            file=sys.stderr,
+        )
+        return 2
     try:
         benchmarks, jobs = _build_jobs(args)
         service = RunService(cache_dir=args.cache_dir)

@@ -37,6 +37,7 @@ from typing import Callable
 import numpy as np
 
 from repro.baselines.numpy_ref import allocate_fields, field_to_columns
+from repro.csl import PARSER_VERSION, parse_csl_sources
 from repro.frontends.common import StencilProgram
 from repro.service.cache import InMemoryArtifactCache, resolve_cache_directory
 from repro.service.fingerprint import (
@@ -106,6 +107,46 @@ def compute_run_fingerprint(
 ) -> str:
     text = canonical_json(
         run_fingerprint_payload(program, options, executor, seed, max_rounds)
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def csl_run_fingerprint_payload(
+    sources: dict[str, str],
+    executor: str,
+    seed: int,
+    max_rounds: int,
+) -> dict:
+    """The canonical document a CSL-source run fingerprint hashes.
+
+    Parsed kernels have no ``StencilProgram``/``PipelineOptions`` provenance,
+    so the source *texts* stand in for the compile stage: any edit to any
+    file is a different run.  The parser version rides along — a lowering
+    change alters what the same text executes as, exactly like a plan or
+    codegen change does for generated programs.
+    """
+    return {
+        "csl_sources": dict(sorted(sources.items())),
+        "run": {
+            "schema": RUN_SCHEMA_VERSION,
+            "executor": executor,
+            "seed": seed,
+            "max_rounds": max_rounds,
+            "parser_version": PARSER_VERSION,
+            "plan_version": PLAN_VERSION,
+            "codegen_version": CODEGEN_VERSION,
+        },
+    }
+
+
+def compute_csl_run_fingerprint(
+    sources: dict[str, str],
+    executor: str,
+    seed: int,
+    max_rounds: int,
+) -> str:
+    text = canonical_json(
+        csl_run_fingerprint_payload(sources, executor, seed, max_rounds)
     )
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -463,6 +504,93 @@ class RunService:
             max_rounds=max_rounds,
             on_stage=on_stage,
         ).result()
+
+    # ------------------------------------------------------------------ #
+    # CSL-source runs (the text front-door)
+    # ------------------------------------------------------------------ #
+
+    def run_csl(
+        self,
+        sources: dict[str, str],
+        *,
+        executor: str | None = None,
+        seed: int = DEFAULT_RUN_SEED,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+    ) -> RunArtifact:
+        """Run a parsed CSL source set end to end, riding the run cache.
+
+        ``sources`` is a ``{filename: text}`` set as produced by
+        ``print_csl_sources`` or read from a ``--csl`` directory (one
+        program module plus an optional layout).  Every buffer the program
+        declares is deterministically seeded (sorted name order, one
+        ``uniform(-1, 1)`` draw each) before launch and digested after, so
+        two executors agree exactly when their artifacts'
+        ``field_digests`` are equal — the same contract as benchmark runs.
+        """
+        executor_name = (
+            executor if executor is not None else default_executor_name()
+        )
+        executor_by_name(executor_name)  # fail fast on unknown backends
+        fingerprint = compute_csl_run_fingerprint(
+            sources, executor_name, seed, max_rounds
+        )
+        with self._lock:
+            self.statistics.submitted += 1
+            artifact = self.memory.get(fingerprint)
+            if artifact is None:
+                artifact = self.store.get(fingerprint)
+                if artifact is not None:
+                    self.memory.put(artifact)
+            if artifact is not None:
+                self.statistics.cache_hits += 1
+                return artifact
+            self.statistics.simulations += 1
+
+        parsed = parse_csl_sources(sources)
+        image = parsed.image()
+        kernel_cache = None
+        if executor_name in ("compiled", "auto"):
+            kernel_cache = self._warm_kernel(image.module)
+        simulator = WseSimulator(image, executor=executor_name)
+        rng = np.random.default_rng(seed)
+        for name in sorted(image.buffers):
+            simulator.load_field(
+                name,
+                rng.uniform(
+                    -1.0,
+                    1.0,
+                    size=(simulator.width, simulator.height, image.buffers[name]),
+                ),
+            )
+        simulator.launch()
+        statistics = simulator.run(max_rounds)
+        digests = {
+            name: hashlib.sha256(
+                simulator.read_field(name).tobytes()
+            ).hexdigest()
+            for name in sorted(image.buffers)
+        }
+        source_digest = hashlib.sha256(
+            canonical_json(dict(sorted(sources.items()))).encode("utf-8")
+        ).hexdigest()
+        artifact = RunArtifact(
+            fingerprint=fingerprint,
+            compile_fingerprint=source_digest,
+            program_name=image.module.sym_name,
+            executor=executor_name,
+            grid_width=simulator.width,
+            grid_height=simulator.height,
+            seed=seed,
+            max_rounds=max_rounds,
+            rounds=statistics.rounds,
+            statistics=asdict(statistics),
+            field_digests=digests,
+            kernel_cache=kernel_cache,
+        )
+        with self._lock:
+            self.memory.put(artifact)
+            self.store.put(artifact)
+        return artifact
 
     # ------------------------------------------------------------------ #
     # The end-to-end execution of one cache miss

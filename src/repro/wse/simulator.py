@@ -42,16 +42,25 @@ class WseSimulator:
     compiled for; explicit overrides must match any grid extent recorded in
     the program image, because the generated layout (border masks, exchange
     patterns) is specialised to it.
+
+    The program may be a csl-ir module *or* an already-built
+    :class:`ProgramImage` — the CSL text front-door (:mod:`repro.csl`)
+    produces images directly, and they execute through the same plan and
+    backends as pipeline-generated modules.
     """
 
     def __init__(
         self,
-        program_module: "csl.CslModuleOp",
+        program_module: "csl.CslModuleOp | ProgramImage",
         width: int | None = None,
         height: int | None = None,
         executor: str | None = None,
     ):
-        self.image = ProgramImage(program_module)
+        if isinstance(program_module, ProgramImage):
+            self.image = program_module
+            program_module = self.image.module
+        else:
+            self.image = ProgramImage(program_module)
         self.width = self._validated_extent("width", width, program_module)
         self.height = self._validated_extent("height", height, program_module)
         self.executor_name = (

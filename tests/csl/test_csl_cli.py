@@ -1,0 +1,74 @@
+"""The ``python -m repro.csl`` command line: parse, dump, diff."""
+
+import io
+import os
+
+from repro.csl.__main__ import main as csl_main
+
+HANDWRITTEN_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "handwritten"
+)
+
+
+class TestParseVerb:
+    def test_parse_directory(self):
+        out = io.StringIO()
+        assert csl_main(["parse", "--dir", HANDWRITTEN_DIR], out=out) == 0
+        text = out.getvalue()
+        assert "seismic25: program, grid 9x9" in text
+        assert "seismic25_layout: layout" in text
+
+    def test_parse_error_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csl"
+        bad.write_text("fn broken( {\n")
+        assert csl_main(["parse", str(bad)], out=io.StringIO()) == 1
+        err = capsys.readouterr().err
+        assert "bad.csl:1:12" in err
+
+
+class TestDumpVerb:
+    def test_dump_reprints_csl(self):
+        out = io.StringIO()
+        assert csl_main(["dump", "--dir", HANDWRITTEN_DIR], out=out) == 0
+        text = out.getvalue()
+        assert "stencil_comms.communicate(" in text
+        assert "@set_rectangle(9, 9);" in text
+
+    def test_dump_canonical_json(self):
+        out = io.StringIO()
+        assert (
+            csl_main(["dump", "--dir", HANDWRITTEN_DIR, "--canonical"], out=out)
+            == 0
+        )
+        text = out.getvalue()
+        assert '"buffers"' in text
+        assert '"receive_buffer": 256' in text
+
+
+class TestDiffVerb:
+    def test_diff_against_generated_seismic(self):
+        out = io.StringIO()
+        code = csl_main(
+            [
+                "diff",
+                "--csl",
+                HANDWRITTEN_DIR,
+                "--benchmark",
+                "Seismic",
+                "--grid",
+                "9x9",
+                "--nz",
+                "16",
+                "--time-steps",
+                "2",
+                "--num-chunks",
+                "1",
+                "--fields",
+                "u,v",
+                "--executors",
+                "reference",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "FIELD-BY-FIELD AGREEMENT" in out.getvalue()

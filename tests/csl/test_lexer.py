@@ -1,0 +1,45 @@
+"""Lexer tests: token stream shape and precise source locations."""
+
+import pytest
+
+from repro.csl.lexer import CslSyntaxError, tokenize
+
+
+class TestTokenize:
+    def test_idents_builtins_numbers_strings(self):
+        tokens = tokenize('const x = @zeros([16]f32); // comment\nparam s = "hi";')
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] == "eof"
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert "@zeros" in texts
+        assert "16" in texts
+        assert "hi" in texts  # string token text is unquoted
+        assert "// comment" not in " ".join(texts)
+
+    def test_locations_are_one_based(self):
+        tokens = tokenize("a\n  b", "k.csl")
+        a, b = tokens[0], tokens[1]
+        assert (a.loc.line, a.loc.col) == (1, 1)
+        assert (b.loc.line, b.loc.col) == (2, 3)
+        assert str(b.loc) == "k.csl:2:3"
+
+    def test_two_char_punctuators(self):
+        tokens = tokenize("x += 1; y -> z; a <= b; c == d; e != f;")
+        puncts = [t.text for t in tokens if t.kind == "punct"]
+        for symbol in ("+=", "->", "<=", "==", "!="):
+            assert symbol in puncts
+
+    def test_float_and_exponent_numbers(self):
+        tokens = tokenize("0.0253968254 -1.5e-3 42")
+        numbers = [t.text for t in tokens if t.kind == "number"]
+        assert numbers == ["0.0253968254", "1.5e-3", "42"]
+
+    def test_rejected_character_names_location(self):
+        with pytest.raises(CslSyntaxError) as info:
+            tokenize("const ok = 1;\nconst bad = 2 # 3;", "bad.csl")
+        assert "bad.csl:2:15" in str(info.value)
+
+    def test_unterminated_string(self):
+        with pytest.raises(CslSyntaxError) as info:
+            tokenize('const s = "never closed;', "s.csl")
+        assert "s.csl:1:11" in str(info.value)
