@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench sim-bench tiled-check service service-smoke run-service-check queue-check boundary-check csl-check lint
+.PHONY: test bench sim-bench tiled-check fusion-check service service-smoke run-service-check queue-check boundary-check csl-check lint
 
 # Tier-1 verification: the whole suite, fail fast.
 test:
@@ -29,6 +29,16 @@ tiled-check:
 	  tests/wse/test_executor_equivalence.py \
 	  tests/wse/test_boundary_conditions.py \
 	  tests/wse/test_comms_edge_cases.py -q
+
+# Gate temporal fusion (multi-round superkernels): the R-matrix goldens
+# (R in {1,2,4} byte-identical on compiled AND tiled across boundary
+# modes), fingerprint keying, the dispatcher's round estimate and online
+# learning, plus the paper-scale assertion that the best blocked depth
+# runs compiled >= 1.15x its unblocked self (warm cache, rows recorded
+# with an explicit `r` to BENCH_simulator.json).
+fusion-check:
+	$(PYTHON) -m pytest tests/wse/test_temporal_fusion.py \
+	  benchmarks/test_simulator_throughput.py::test_temporal_blocking_speeds_up_compiled -q
 
 # Compilation service: unit + throughput tests, then the CLI smoke path.
 service:

@@ -8,12 +8,20 @@ files share one record schema so trend tooling can concatenate them:
 ``{"name": str, "grid": "WxH", "executor": str, "seconds": float,
 "speedup": float}``
 
-plus one optional field:
+plus optional fields:
 
 ``"cache": "cold" | "warm"`` — whether the measured run paid one-time
 setup (``cold``: e.g. the ``compiled`` backend generating its kernel) or
 reused it (``warm``); records without the field measured a backend with no
 cache distinction.
+
+``"r": int`` — the temporal block depth (delivery rounds fused per kernel
+invocation) the run was measured at; absent means unblocked (R = 1).
+
+``"day": "YYYY-MM-DD"`` — the day an *online* observation was recorded
+(the ``auto`` dispatcher's opt-in learning rows); one row per
+(name, grid, executor, day) keeps the file bounded while still tracking
+drift.  Benchmark-written rows carry no day: they replace wholesale.
 
 ``speedup`` is relative to the record's baseline executor (1.0 for the
 baseline itself); ``executor`` names the execution backend measured, or a
@@ -28,8 +36,9 @@ from pathlib import Path
 #: the exact keys every trajectory record must carry.
 RECORD_KEYS = ("name", "grid", "executor", "seconds", "speedup")
 
-#: optional keys a record may additionally carry, with their legal values.
-OPTIONAL_KEYS = {"cache": ("cold", "warm")}
+#: optional keys a record may additionally carry; a tuple enumerates the
+#: legal values, a type admits any instance of it.
+OPTIONAL_KEYS = {"cache": ("cold", "warm"), "r": int, "day": str}
 
 #: bump when the record shape changes.
 TRAJECTORY_SCHEMA_VERSION = 1
@@ -42,6 +51,8 @@ def make_record(
     seconds: float,
     speedup: float,
     cache: str | None = None,
+    r: int | None = None,
+    day: str | None = None,
 ) -> dict:
     """One schema-conforming trajectory record."""
     record = {
@@ -53,6 +64,10 @@ def make_record(
     }
     if cache is not None:
         record["cache"] = cache
+    if r is not None:
+        record["r"] = int(r)
+    if day is not None:
+        record["day"] = day
     return record
 
 
@@ -76,10 +91,18 @@ def write_trajectory(path: str | Path, records: list[dict]) -> Path:
                 f"shared schema {sorted(RECORD_KEYS)}"
             )
         for key, legal in OPTIONAL_KEYS.items():
-            if key in record and record[key] not in legal:
+            if key not in record:
+                continue
+            if isinstance(legal, tuple):
+                if record[key] not in legal:
+                    raise ValueError(
+                        f"trajectory record {key}={record[key]!r} is not "
+                        f"one of {legal}"
+                    )
+            elif not isinstance(record[key], legal):
                 raise ValueError(
-                    f"trajectory record {key}={record[key]!r} is not one "
-                    f"of {legal}"
+                    f"trajectory record {key}={record[key]!r} is not "
+                    f"a {legal.__name__}"
                 )
     payload = {
         "schema_version": TRAJECTORY_SCHEMA_VERSION,
@@ -102,13 +125,15 @@ def read_trajectory(path: str | Path) -> list[dict]:
 
 def merge_trajectory(path: str | Path, records: list[dict]) -> Path:
     """Merge new records into a trajectory file by
-    ``(name, grid, executor, cache)``.
+    ``(name, grid, executor, cache, r, day)``.
 
     Existing records with the same key are replaced, everything else is
     preserved — so independent benchmarks (or a partial rerun of one) each
     refresh their own rows without clobbering the rest of the file (a
-    backend's cold and warm measurements are distinct rows).  An
-    unreadable or stale-schema file is simply rewritten.
+    backend's cold and warm measurements are distinct rows, as are rows at
+    different temporal block depths; online observations replace only the
+    same day's row).  An unreadable or stale-schema file is simply
+    rewritten.
     """
     path = Path(path)
     key = lambda record: (
@@ -116,6 +141,8 @@ def merge_trajectory(path: str | Path, records: list[dict]) -> Path:
         record["grid"],
         record["executor"],
         record.get("cache"),
+        record.get("r"),
+        record.get("day"),
     )
     try:
         existing = read_trajectory(path)

@@ -58,6 +58,7 @@ from repro.wse.plan import (
     ExchangePlan,
     ExecutionPlan,
     ShardGeometry,
+    _callable_blocks,
     seam_publication,
 )
 
@@ -67,11 +68,41 @@ if TYPE_CHECKING:  # pragma: no cover
 #: bump when the emitted kernel semantics change; folded into kernel
 #: fingerprints (stale memo/store entries then miss) and into run-level
 #: fingerprints so cached run artifacts invalidate alongside.
-CODEGEN_VERSION = 1
+#: v2: temporal-block (multi-round) emission mode; unblocked emission is
+#: byte-identical to v1.
+CODEGEN_VERSION = 2
 
 #: environment variable naming a directory to retain emitted kernel source
 #: in (``kernel_<fingerprint12>.py`` per kernel) for debugging.
 DUMP_ENV_VAR = "REPRO_COMPILED_DUMP"
+
+#: environment variable forcing the temporal block depth — how many delivery
+#: rounds the compiled/tiled backends fuse per kernel invocation.
+FUSION_ENV_VAR = "REPRO_FUSION_ROUNDS"
+
+
+def resolve_block_depth(explicit: int | None = None) -> int:
+    """The temporal block depth to run with.
+
+    Precedence: an explicit constructor argument, then the
+    ``REPRO_FUSION_ROUNDS`` environment override, then 1 (unblocked).
+    """
+    if explicit is not None:
+        value = int(explicit)
+    else:
+        raw = os.environ.get(FUSION_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"invalid {FUSION_ENV_VAR}={raw!r}: expected a positive "
+                f"integer block depth"
+            ) from None
+    if value < 1:
+        raise ValueError(f"temporal block depth must be >= 1, got {value}")
+    return value
 
 
 class KernelCodegenError(Exception):
@@ -88,6 +119,7 @@ def kernel_fingerprint(
     plan: ExecutionPlan,
     box: tuple[int, int, int, int] | None = None,
     geometry: ShardGeometry | None = None,
+    rounds: int = 1,
 ) -> str:
     """Content fingerprint of one (program module, plan[, shard box]) kernel.
 
@@ -97,7 +129,10 @@ def kernel_fingerprint(
     change to the program, the planning semantics or the emitter invalidates
     it exactly once.  Shard-box kernels (the tiled backend's per-shard
     replicas) additionally fold the box and the whole shard geometry, since
-    seam publication slots depend on every band/stripe edge.
+    seam publication slots depend on every band/stripe edge.  Temporal-block
+    kernels fold their depth (``rounds > 1``) so each (plan, box, R) variant
+    caches exactly once; ``rounds == 1`` leaves the payload untouched —
+    unblocked fingerprints are insensitive to the parameter existing.
     """
     payload = {
         "codegen_version": CODEGEN_VERSION,
@@ -107,6 +142,8 @@ def kernel_fingerprint(
     if box is not None:
         assert geometry is not None
         payload["shard"] = {"box": list(box), "geometry": geometry.canonical()}
+    if rounds != 1:
+        payload["rounds"] = rounds
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -212,6 +249,7 @@ class _KernelEmitter:
         plan: ExecutionPlan,
         box: tuple[int, int, int, int] | None = None,
         geometry: ShardGeometry | None = None,
+        rounds: int = 1,
     ):
         self.image = image
         self.plan = plan
@@ -219,6 +257,14 @@ class _KernelEmitter:
         #: whole-grid kernel (whose emission this mode must not perturb).
         self.box = box
         self.geometry = geometry
+        #: temporal block depth; ``> 1`` grows the in-kernel round loop
+        #: (``run_block``) and the direct-to-receive delivery.  Shard-box
+        #: kernels block through extended-window plans instead, never here.
+        self.rounds = rounds
+        assert rounds == 1 or box is None, (
+            "temporal blocks and shard boxes compose via BlockPlanView, "
+            "not via box= + rounds="
+        )
         self._fn_names: dict[str, str] = {}
         self._buffer_names: dict[str, str] = {}
         self._views: dict[tuple, str] = {}  # (buffer, offset, length, stride)
@@ -228,6 +274,14 @@ class _KernelEmitter:
         self._exchanges: list[tuple[int, ExchangePlan, str]] = []
         #: shard-mode fancy-index constants: (values, orient) -> name.
         self._indices: dict[tuple[tuple[int, ...], str], str] = {}
+        #: exchanges delivered straight into the receive slab (block mode):
+        #: their staging slabs are never allocated.
+        self._direct_eids: set[int] = set()
+        #: direct-mode exchanges whose constant-fill borders are written
+        #: lazily under a ``fl<eid>`` once-flag (receive buffer proven
+        #: unwritten outside delivery).
+        self._fill_flags: set[int] = set()
+        self._write_sets: dict[str, set[str] | None] = {}
         self._temp = 0
         if box is not None:
             assert geometry is not None
@@ -653,6 +707,142 @@ class _KernelEmitter:
         b.line("counters['exchanges'] += 1")
         b.line(f"pending[0] = {eid}")
 
+    # -- temporal-block write-set analysis -------------------------------- #
+
+    def _written_buffers(self, name: str) -> set[str] | None:
+        """Buffers the direct-call closure of a callable may write.
+
+        Follows ``csl.call`` into callees and both ``scf.if`` regions;
+        ``csl.activate`` targets are deferred to the task queue — which only
+        drains after the enclosing delivery completed — so they are not part
+        of the closure.  Returns ``None`` when a DSD destination cannot be
+        resolved to a buffer statically (conservative: treat as writing
+        everything).  Memoised per callable.
+        """
+        if name in self._write_sets:
+            return self._write_sets[name]
+        self._write_sets[name] = None  # cycle guard: recursion -> unknown
+        callable_op = self.image.callables.get(name)
+        if callable_op is None:
+            self._write_sets[name] = None
+            return None
+        written: set[str] = set()
+        env: dict[int, str | None] = {}
+        unknown = False
+        for block in _callable_blocks(callable_op):
+            for op in block.ops:
+                if isinstance(op, csl.GetMemDsdOp):
+                    env[id(op.results[0])] = self._trace_get_buffer(op, env)
+                elif isinstance(op, csl.IncrementDsdOffsetOp):
+                    planned = self.plan.static_dsd(op)
+                    if planned is not None:
+                        env[id(op.results[0])] = planned.buffer
+                    else:
+                        env[id(op.results[0])] = env.get(id(op.operands[0]))
+                elif isinstance(op, csl.DSD_BUILTIN_OPS):
+                    buffer = env.get(id(op.dest))
+                    if buffer is None:
+                        unknown = True
+                    else:
+                        written.add(buffer)
+                elif isinstance(op, csl.CallOp):
+                    callee_writes = self._written_buffers(op.callee)
+                    if callee_writes is None:
+                        unknown = True
+                    else:
+                        written |= callee_writes
+        result = None if unknown else written
+        self._write_sets[name] = result
+        return result
+
+    def _trace_get_buffer(
+        self, op: csl.GetMemDsdOp, env: dict[int, str | None]
+    ) -> str | None:
+        planned = self.plan.static_dsd(op)
+        if planned is not None:
+            return planned.buffer
+        buffer_attr = op.attributes.get("buffer")
+        if isinstance(buffer_attr, StringAttr):
+            return buffer_attr.data
+        if op.operands:
+            return env.get(id(op.operands[0]))
+        return None
+
+    def _direct_staging_safe(
+        self, exchange: ExchangePlan, source_buffer: str
+    ) -> bool:
+        """May this exchange stage each chunk straight into the receive slab?
+
+        The unblocked kernel stages *every* chunk before any receive
+        callback runs; interleaving stage and callback is byte-equivalent
+        exactly when the callback's direct-call closure writes neither the
+        source (later chunks would re-read modified data) nor the receive
+        buffer (its slab state between chunks is observable).
+        """
+        if exchange.receive_buffer == source_buffer:
+            return False
+        if not exchange.receive_callback:
+            return True
+        writes = self._written_buffers(exchange.receive_callback)
+        if writes is None:
+            return False
+        return (
+            source_buffer not in writes
+            and exchange.receive_buffer not in writes
+        )
+
+    def _recv_preserved(self, receive_buffer: str) -> bool:
+        """True when no callable of the program writes the receive buffer —
+        the constant-fill borders written by one delivery then survive until
+        the next, so the fill only needs writing once per kernel binding."""
+        for name in self.image.callables:
+            writes = self._written_buffers(name)
+            if writes is None or receive_buffer in writes:
+                return False
+        return True
+
+    @staticmethod
+    def _shift_run(
+        axis: tuple[int | None, ...], delta: int
+    ) -> tuple[int, int]:
+        """Destination bounds ``[lo, hi)`` of a fill-path table axis.
+
+        The in-fabric cells of a constant-fill (Dirichlet) axis must form
+        one contiguous pure-shift run (``axis[i] == i + delta``) for the
+        single shifted-slice copy to represent them; for whole-fabric tables
+        this reproduces :meth:`HaloTable.interior_box` exactly, and for the
+        extended-window tables of a temporal block it tightens the bounds to
+        the cells whose sources actually sit inside the window.
+        """
+        present = [i for i, src in enumerate(axis) if src is not None]
+        if not present:
+            return 0, 0
+        lo, hi = present[0], present[-1] + 1
+        if hi - lo != len(present) or any(
+            axis[i] != i + delta for i in present
+        ):
+            raise KernelCodegenError(
+                "constant-fill halo table is not one contiguous shifted run"
+            )
+        return lo, hi
+
+    @staticmethod
+    def _axis_runs(
+        axis: tuple[int, ...]
+    ) -> list[tuple[int, int, int]]:
+        """Maximal ``(dest_lo, dest_hi, src_lo)`` runs of a gather axis in
+        which the source index steps with the destination — each run is one
+        basic-slice copy."""
+        runs: list[tuple[int, int, int]] = []
+        start = 0
+        for i in range(1, len(axis) + 1):
+            if i == len(axis) or axis[i] != axis[i - 1] + 1:
+                runs.append((start, i, axis[start]))
+                start = i
+        return runs
+
+    # -- delivery emission ------------------------------------------------ #
+
     def _emit_deliver_fn(
         self,
         eid: int,
@@ -662,6 +852,11 @@ class _KernelEmitter:
     ) -> None:
         if self.box is not None:
             self._emit_box_exchange_fns(eid, exchange, source_buffer, b)
+            return
+        if self.rounds > 1 and self._direct_staging_safe(
+            exchange, source_buffer
+        ):
+            self._emit_block_deliver_fn(eid, exchange, source_buffer, b)
             return
         depth = exchange.chunk_size * len(exchange.directions)
         source = self._buffer(source_buffer)
@@ -702,6 +897,154 @@ class _KernelEmitter:
                 )
             if len(b) == body_start:  # zero-chunk, no-callback degenerate
                 b.line("pass")
+
+    def _emit_block_deliver_fn(
+        self,
+        eid: int,
+        exchange: ExchangePlan,
+        source_buffer: str,
+        b: SourceBuilder,
+    ) -> None:
+        """Fused-block delivery: stage each chunk straight into the receive
+        slab, skipping the per-chunk full-slab copy.
+
+        Legal because :meth:`_direct_staging_safe` proved the receive
+        callback writes neither the source buffer (later chunks re-read the
+        same data the up-front staging would have) nor the receive buffer
+        (the slab content each callback observes equals the unblocked
+        ``np.copyto`` result).  Constant-fill borders are re-established at
+        the top of the delivery — or once per kernel binding when no task
+        of the program ever writes the receive buffer.
+        """
+        depth = exchange.chunk_size * len(exchange.directions)
+        source = self._buffer(source_buffer)
+        self._direct_eids.add(eid)
+        receive_view = (
+            self._static_view(_DsdExpr(exchange.receive_buffer, 0, depth, 1))
+            if depth
+            else None
+        )
+        fill_slots = [
+            (slot, direction)
+            for slot, direction in enumerate(exchange.directions)
+            if self.plan.gather_indices(direction) is None
+        ]
+        once = bool(fill_slots) and self._recv_preserved(
+            exchange.receive_buffer
+        )
+        if once:
+            self._fill_flags.add(eid)
+
+        def emit_fills(bb: SourceBuilder) -> None:
+            for slot, direction in fill_slots:
+                fill = self.plan.halo_table(direction).fill_value
+                z0 = slot * exchange.chunk_size
+                z1 = z0 + exchange.chunk_size
+                value = f"np.float32({fill!r})"
+                if exchange.coefficients is not None:
+                    value = f"{value} * c{eid}_{slot}"
+                bb.line(f"{receive_view}[:, :, {z0}:{z1}] = {value}")
+
+        b.line(f"def deliver_{eid}():")
+        with b.indented():
+            body_start = len(b)
+            total = exchange.num_chunks * exchange.chunk_size * len(
+                exchange.directions
+            )
+            if total:
+                b.line(f"counters['wavelets_sent'] += {total}")
+            if fill_slots and receive_view is not None:
+                if once:
+                    b.line(f"if fl{eid}[0]:")
+                    with b.indented():
+                        b.line(f"fl{eid}[0] = False")
+                        emit_fills(b)
+                else:
+                    emit_fills(b)
+            for chunk in range(exchange.num_chunks):
+                start = exchange.source_offset + chunk * exchange.chunk_size
+                stop = start + exchange.chunk_size
+                for slot, direction in enumerate(exchange.directions):
+                    self._emit_direct_stage(
+                        eid, exchange, slot, direction,
+                        source, start, stop, receive_view, b,
+                    )
+                if exchange.receive_callback:
+                    argument = chunk * exchange.chunk_size
+                    b.line(f"{self._fn(exchange.receive_callback)}({argument})")
+            if exchange.done_callback:
+                b.line(
+                    f"queue.append(({self._fn(exchange.done_callback)}, 0))"
+                )
+            if len(b) == body_start:
+                b.line("pass")
+
+    def _emit_direct_stage(
+        self,
+        eid: int,
+        exchange: ExchangePlan,
+        slot: int,
+        direction: tuple[int, int],
+        source: str,
+        start: int,
+        stop: int,
+        receive_view: str | None,
+        b: SourceBuilder,
+    ) -> None:
+        """One direction-slot of one chunk, written into the receive slab.
+
+        Gathers whose fold tables decompose into a few contiguous runs per
+        axis (interior shifts, periodic/reflect wraps) become basic-slice
+        copies — no fancy-index temporary; ragged tables keep the one-shot
+        fancy gather.  Constant-fill directions copy only the shifted run
+        over the borders established by the delivery prologue.
+        """
+        if receive_view is None:
+            return
+        z0 = slot * exchange.chunk_size
+        z1 = z0 + exchange.chunk_size
+        coefficient = (
+            f"c{eid}_{slot}" if exchange.coefficients is not None else None
+        )
+        table = self.plan.halo_table(direction)
+
+        def copy(dest: str, src: str) -> None:
+            if coefficient is None:
+                b.line(f"np.copyto({dest}, {src})")
+            else:
+                b.line(f"np.multiply({src}, {coefficient}, out={dest})")
+
+        if self.plan.gather_indices(direction) is None:
+            dx, dy = direction
+            y0, y1 = self._shift_run(table.rows, dy)
+            x0, x1 = self._shift_run(table.cols, dx)
+            if y0 >= y1 or x0 >= x1:
+                return
+            copy(
+                f"{receive_view}[{y0}:{y1}, {x0}:{x1}, {z0}:{z1}]",
+                f"{source}[{y0 + dy}:{y1 + dy}, {x0 + dx}:{x1 + dx}, "
+                f"{start}:{stop}]",
+            )
+            return
+        row_runs = self._axis_runs(table.rows)
+        col_runs = self._axis_runs(table.cols)
+        if len(row_runs) * len(col_runs) <= 4:
+            for ry0, ry1, sy in row_runs:
+                for cx0, cx1, sx in col_runs:
+                    copy(
+                        f"{receive_view}[{ry0}:{ry1}, {cx0}:{cx1}, "
+                        f"{z0}:{z1}]",
+                        f"{source}[{sy}:{sy + ry1 - ry0}, "
+                        f"{sx}:{sx + cx1 - cx0}, {start}:{stop}]",
+                    )
+            return
+        rows, cols = self._gather(direction)
+        dest = f"{receive_view}[:, :, {z0}:{z1}]"
+        gathered = f"{source}[{rows}, {cols}, {start}:{stop}]"
+        if coefficient is None:
+            b.line(f"{dest} = {gathered}")
+        else:
+            b.line(f"np.multiply({gathered}, {coefficient}, out={dest})")
 
     # -- shard-box exchange (overlapped tiled protocol) ------------------- #
 
@@ -891,10 +1234,14 @@ class _KernelEmitter:
                 b.line(f"np.multiply({gathered}, {coefficient}, out={staging})")
             return
         # Dirichlet fill path: the staging border was prefilled at bind
-        # time; only the interior rectangle moves per round.
+        # time; only the interior rectangle moves per round.  The bounds
+        # come from the table's contiguous shifted run — identical to the
+        # geometric interior box on whole-fabric tables, tighter on the
+        # extended-window tables of a temporal block.
         table = self.plan.halo_table(direction)
         dx, dy = direction
-        y0, y1, x0, x1 = table.interior_box()
+        y0, y1 = self._shift_run(table.rows, dy)
+        x0, x1 = self._shift_run(table.cols, dx)
         if y0 >= y1 or x0 >= x1:
             return
         staging = (
@@ -970,6 +1317,10 @@ class _KernelEmitter:
             f"{self.plan.width}x{self.plan.height}; "
             f"boundary {boundary.kind}({boundary.value!r})"
         )
+        if self.rounds > 1:
+            out.line(
+                f"# temporal block: {self.rounds} rounds per invocation"
+            )
         if fingerprint:
             out.line(f"# fingerprint {fingerprint}")
         if self.box is not None:
@@ -1033,6 +1384,10 @@ class _KernelEmitter:
                         out.line(
                             f"c{eid}_{slot} = np.float32({coefficient!r})"
                         )
+                if eid in self._fill_flags:
+                    out.line(f"fl{eid} = [True]")
+                if eid in self._direct_eids:
+                    continue  # stages straight into the receive slab
                 depth = exchange.chunk_size * len(exchange.directions)
                 for chunk in range(exchange.num_chunks):
                     out.line(
@@ -1069,6 +1424,35 @@ class _KernelEmitter:
                 out.line(
                     "return state.halted or (not queue and pending[0] < 0)"
                 )
+            if self.rounds > 1:
+                # The in-kernel round loop: exactly the executor's
+                # drain/settled/deliver schedule, minus one Python boundary
+                # crossing per round.  ``budget`` bounds the rounds executed
+                # per invocation; the caller re-invokes until settled.
+                out.line("def run_block(budget):")
+                with out.indented():
+                    out.line("executed = 0")
+                    out.line("while executed < budget:")
+                    with out.indented():
+                        out.line("drain()")
+                        out.line(
+                            "if state.halted or "
+                            "(not queue and pending[0] < 0):"
+                        )
+                        with out.indented():
+                            out.line("return executed, 'settled'")
+                        out.line("eid = pending[0]")
+                        out.line("if eid < 0:")
+                        with out.indented():
+                            out.line("return executed, 'deadlock'")
+                        out.line("pending[0] = -1")
+                        for eid, _, _ in self._exchanges:
+                            keyword = "if" if eid == 0 else "elif"
+                            out.line(f"{keyword} eid == {eid}:")
+                            with out.indented():
+                                out.line(f"deliver_{eid}()")
+                        out.line("executed += 1")
+                    out.line("return executed, 'budget'")
             fns = ", ".join(
                 f"{name!r}: {self._fn_names[name]}"
                 for name in sorted(self.image.callables)
@@ -1082,6 +1466,8 @@ class _KernelEmitter:
                     out.line("'publish': publish, "
                              "'stage_interior': stage_interior,")
                     out.line("'stage_rim': stage_rim,")
+                if self.rounds > 1:
+                    out.line("'run_block': run_block,")
                 out.line("'queue': queue, 'pending': pending,")
             out.line("}")
         return out.text()
@@ -1093,6 +1479,7 @@ def generate_kernel_source(
     fingerprint: str | None = None,
     box: tuple[int, int, int, int] | None = None,
     geometry: ShardGeometry | None = None,
+    rounds: int = 1,
 ) -> str:
     """Emit the fused per-round kernel of one (image, plan) as Python source.
 
@@ -1101,9 +1488,13 @@ def generate_kernel_source(
     no environmental state leaks in), which the golden dump test pins.
     With ``box``/``geometry`` the kernel is restricted to one shard box and
     grows the overlapped-exchange hooks (``publish`` / ``stage_interior`` /
-    ``stage_rim``) plus a module-level ``SHARD_META`` literal.
+    ``stage_rim``) plus a module-level ``SHARD_META`` literal.  With
+    ``rounds > 1`` the kernel is a temporal block: it grows a ``run_block``
+    hook executing up to that many delivery rounds per invocation, and
+    deliveries stage straight into the receive slab where provably safe;
+    ``rounds == 1`` emission is byte-identical to not passing the parameter.
     """
-    return _KernelEmitter(image, plan, box, geometry).emit(fingerprint)
+    return _KernelEmitter(image, plan, box, geometry, rounds).emit(fingerprint)
 
 
 # --------------------------------------------------------------------------- #
@@ -1195,9 +1586,10 @@ def get_kernel(
     store=None,
     box: tuple[int, int, int, int] | None = None,
     geometry: ShardGeometry | None = None,
+    rounds: int = 1,
 ) -> CompiledKernel:
-    """The compiled kernel of one (image, plan[, shard box]), cached by
-    fingerprint.
+    """The compiled kernel of one (image, plan[, shard box][, block depth]),
+    cached by fingerprint.
 
     Lookup order: the in-process memo, then ``store`` (any object with
     ``get(fingerprint) -> str | None`` and ``put(fingerprint, source)`` —
@@ -1206,7 +1598,7 @@ def get_kernel(
     :class:`KernelCodegenError` when the program cannot be fused; nothing
     is cached in that case.
     """
-    fingerprint = kernel_fingerprint(image, plan, box, geometry)
+    fingerprint = kernel_fingerprint(image, plan, box, geometry, rounds)
     kernel = _MEMO.get(fingerprint)
     if kernel is not None:
         _STATISTICS.memory_hits += 1
@@ -1215,7 +1607,9 @@ def get_kernel(
     if source is not None:
         _STATISTICS.disk_hits += 1
     else:
-        source = generate_kernel_source(image, plan, fingerprint, box, geometry)
+        source = generate_kernel_source(
+            image, plan, fingerprint, box, geometry, rounds
+        )
         _STATISTICS.codegens += 1
         if store is not None:
             store.put(fingerprint, source)

@@ -30,10 +30,13 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.dialects import arith, csl, scf
+from repro.wse.codegen import FUSION_ENV_VAR
 from repro.wse.executors.base import (
     Executor,
     SimulationStatistics,
@@ -48,9 +51,18 @@ FORCE_ENV_VAR = "REPRO_AUTO_BACKEND"
 #: trajectory file consulted for recorded backend timings.
 TRAJECTORY_ENV_VAR = "REPRO_AUTO_TRAJECTORY"
 
-#: delivery rounds assumed when pricing a workload at dispatch time (the
-#: true count is only known after the run; the *ranking* of backends is
-#: insensitive to the exact value once setup costs are amortised).
+#: opt-in flag: when set (non-empty), the dispatcher appends its own
+#: observed timing after each run to the trajectory file, so dispatch
+#: improves online without anyone re-running the benchmarks.
+RECORD_ENV_VAR = "REPRO_AUTO_RECORD"
+
+#: the name online observation rows are recorded under (the dispatcher
+#: has no benchmark registry to name the workload from).
+OBSERVED_NAME = "auto-observed"
+
+#: delivery rounds assumed when the image's comms schedule cannot be
+#: recognised (hand-built test images; the pipeline's generated programs
+#: all match :func:`estimate_delivery_rounds`'s loop pattern).
 NOMINAL_ROUNDS = 8
 
 #: backends the dispatcher considers (tiled joins when it can actually
@@ -80,6 +92,119 @@ def load_recorded_rows(path: Path | None = None) -> list[dict]:
         return read_trajectory(path if path is not None else _trajectory_path())
     except Exception:
         return []
+
+
+def _walk_ops(op):
+    """The operation and every op nested in its regions, pre-order."""
+    yield op
+    for region in op.regions:
+        for block in region.blocks:
+            for child in block.ops:
+                yield from _walk_ops(child)
+
+
+def _count_comms(image, name: str, seen: set[str]) -> int:
+    """Comms ops one iteration of the time loop executes, starting at the
+    callable ``name`` and following the whole activation chain — direct
+    calls, receive/done callbacks and task activations — until it wraps
+    back to a callable already on the path (the loop condition)."""
+    if name in seen:
+        return 0
+    seen.add(name)
+    callable_op = image.callables.get(name)
+    if callable_op is None:
+        return 0
+    count = 0
+    for op in _walk_ops(callable_op):
+        if isinstance(op, csl.CommsExchangeOp):
+            count += 1
+            for callback in (op.recv_callback, op.done_callback):
+                if callback:
+                    count += _count_comms(image, callback, seen)
+        elif isinstance(op, csl.CallOp):
+            count += _count_comms(image, op.callee, seen)
+        elif isinstance(op, csl.ActivateOp):
+            count += _count_comms(image, op.task_name, seen)
+    return count
+
+
+def estimate_delivery_rounds(image) -> int:
+    """Delivery rounds one run of ``image`` will take, from its comms
+    schedule — or :data:`NOMINAL_ROUNDS` when the schedule is opaque.
+
+    The pipeline lowers every time loop to one shape: a condition task
+    loading the step variable, comparing it (``slt``/``sle``) against a
+    constant bound, and branching into the loop body, whose activation
+    chain re-enters the condition after all exchanges complete.  Trip
+    count times exchanges per iteration *is* the delivery-round count —
+    each ``csl.comms_exchange`` blocks exactly one round.
+    """
+    for name, callable_op in image.callables.items():
+        for op in _walk_ops(callable_op):
+            if not isinstance(op, scf.IfOp):
+                continue
+            condition = op.condition.owner()
+            if (
+                not isinstance(condition, arith.CmpiOp)
+                or condition.predicate not in ("slt", "sle")
+            ):
+                continue
+            step = condition.lhs.owner()
+            bound = condition.rhs.owner()
+            if not isinstance(step, csl.LoadVarOp) or not isinstance(
+                bound, (csl.ConstantOp, arith.ConstantOp)
+            ):
+                continue
+            initial = image.variables.get(step.var, 0)
+            trips = int(bound.value) - int(initial)
+            if condition.predicate == "sle":
+                trips += 1
+            # The walk from the loop body counts one iteration's
+            # exchanges: seeding the condition task as already-seen stops
+            # the activation chain where it wraps around.
+            seen = {name}
+            comms = sum(
+                _count_comms(image, body_call.callee, seen)
+                for block in op.then_region.blocks
+                for child in block.ops
+                for body_call in _walk_ops(child)
+                if isinstance(body_call, csl.CallOp)
+            )
+            if trips > 0 and comms > 0:
+                return trips * comms
+    return NOMINAL_ROUNDS
+
+
+def choose_block_depth(
+    executor: str,
+    width: int,
+    height: int,
+    rounds: int,
+    cpus: int | None = None,
+) -> int:
+    """The temporal block depth R the dispatcher asks its delegate for.
+
+    ``compiled`` blocks whenever the loop is long enough to fill a block:
+    whole-grid blocking fuses R rounds per Python crossing at zero extra
+    compute, so the largest supported depth not exceeding the loop wins.
+    ``tiled`` additionally pays margin recompute and full-grid bank
+    copies per block, so it only blocks when its shards are wide relative
+    to the deep halo (the margin's share of the extended window stays
+    small).  The reference/vectorized backends do not block.
+    """
+    if executor == "compiled":
+        for depth in (4, 2):
+            if rounds >= depth:
+                return depth
+        return 1
+    if executor == "tiled":
+        kx, ky = shard_grid(width, height, cpus)
+        side = min(width // kx, height // ky)
+        for depth in (4, 2):
+            if rounds >= 2 * depth and side >= 16 * depth:
+                return depth
+        return 1
+    return 1
 
 
 class BackendSelector:
@@ -203,6 +328,7 @@ class AutoExecutor(Executor):
         self._delegate: Executor | None = None
         self._own_statistics = SimulationStatistics()
         super().__init__(image, width, height, plan)
+        rounds = estimate_delivery_rounds(image)
         forced = os.environ.get(FORCE_ENV_VAR, "").strip()
         if forced:
             choice = forced
@@ -210,9 +336,22 @@ class AutoExecutor(Executor):
         else:
             selector = BackendSelector()
             depth = max(self.plan.buffers.values(), default=1)
-            choice, rationale = selector.choose(width, height, depth)
+            choice, rationale = selector.choose(
+                width, height, depth, rounds=rounds
+            )
         delegate_cls = executor_by_name(choice)
-        self._delegate = delegate_cls(image, width, height, self.plan)
+        kwargs = {}
+        #: the temporal block depth priced for this workload (1 = unblocked).
+        self.block_depth = 1
+        if choice in ("compiled", "tiled") and not os.environ.get(
+            FUSION_ENV_VAR
+        ):
+            # The env override stays authoritative when present; otherwise
+            # the dispatcher prices R from the estimated round count.
+            self.block_depth = choose_block_depth(choice, width, height, rounds)
+            if self.block_depth > 1:
+                kwargs["rounds_per_block"] = self.block_depth
+        self._delegate = delegate_cls(image, width, height, self.plan, **kwargs)
         #: the decision surface: which backend runs, and why.
         self.backend_name = choice
         self.backend_rationale = rationale
@@ -257,9 +396,38 @@ class AutoExecutor(Executor):
         self._delegate.launch(entry)
 
     def run(self, max_rounds: int = 1_000_000) -> SimulationStatistics:
+        rounds_before = self._delegate.statistics.rounds
+        started = time.perf_counter()
         statistics = self._delegate.run(max_rounds)
+        elapsed = time.perf_counter() - started
         self._stamp()
+        if os.environ.get(RECORD_ENV_VAR) and statistics.rounds > rounds_before:
+            self._record_observation(elapsed)
         return statistics
+
+    def _record_observation(self, seconds: float) -> None:
+        """Append this run's observed timing to the trajectory (opt-in).
+
+        One row per (workload, grid, backend, day): reruns the same day
+        replace their row, so the file stays bounded while the recorded
+        corpus still tracks host drift.  Recording must never break a
+        simulation — any failure is swallowed.
+        """
+        from repro.eval.trajectory import make_record, merge_trajectory
+
+        try:
+            record = make_record(
+                OBSERVED_NAME,
+                f"{self.width}x{self.height}",
+                self.backend_name,
+                seconds,
+                1.0,
+                r=self.block_depth if self.block_depth > 1 else None,
+                day=time.strftime("%Y-%m-%d"),
+            )
+            merge_trajectory(_trajectory_path(), [record])
+        except Exception:
+            pass
 
     # -- unused base hooks (the delegate drives its own rounds) ---------- #
 

@@ -50,15 +50,25 @@ class SimulationStatistics:
     dsd_elements: int = 0
     wavelets_sent: int = 0
     max_pe_memory_bytes: int = 0
+    #: host-side synchronisation costs of partitioned execution (the tiled
+    #: backend's publication spin-wait and round barrier).  Real work, but
+    #: backend-specific: excluded from equality so cross-backend statistics
+    #: comparisons stay meaningful; still summed by :meth:`merge`.
+    seam_spins: int = field(default=0, compare=False)
+    seam_backoffs: int = field(default=0, compare=False)
+    barrier_waits: int = field(default=0, compare=False)
     #: which backend the ``auto`` dispatcher delegated to, and why.  Not
     #: activity counters: excluded from equality (cross-backend statistics
     #: comparisons stay meaningful) and from :meth:`merge`.
     backend_decision: str = field(default="", compare=False)
     backend_rationale: str = field(default="", compare=False)
+    #: delivery rounds fused per kernel invocation (temporal blocking);
+    #: 0 when the backend ran unblocked.  Descriptive, not additive.
+    block_depth: int = field(default=0, compare=False)
 
     #: descriptive fields :meth:`merge` must not fold.
     _METADATA_FIELDS: ClassVar[frozenset[str]] = frozenset(
-        {"backend_decision", "backend_rationale"}
+        {"backend_decision", "backend_rationale", "block_depth"}
     )
 
     @classmethod

@@ -25,8 +25,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.ir.exceptions import InterpretationError
-from repro.wse.codegen import KernelCodegenError, get_kernel
-from repro.wse.executors.base import register_executor
+from repro.wse.codegen import (
+    KernelCodegenError,
+    get_kernel,
+    resolve_block_depth,
+)
+from repro.wse.executors.base import SimulationStatistics, register_executor
 from repro.wse.executors.vectorized import VectorizedExecutor
 from repro.wse.interpreter import ProgramImage
 
@@ -36,7 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @register_executor
 class CompiledExecutor(VectorizedExecutor):
-    """Run the fused generated kernel; interpret only as a fallback."""
+    """Run the fused generated kernel; interpret only as a fallback.
+
+    With a temporal block depth R > 1 (``rounds_per_block`` argument or the
+    ``REPRO_FUSION_ROUNDS`` environment override) the bound kernel carries
+    the round loop itself (``run_block``): up to R delivery rounds execute
+    per Python boundary crossing, byte-identical to unblocked execution.
+    """
 
     name = "compiled"
 
@@ -46,19 +56,42 @@ class CompiledExecutor(VectorizedExecutor):
         width: int,
         height: int,
         plan: "ExecutionPlan | None" = None,
+        rounds_per_block: int | None = None,
     ):
         super().__init__(image, width, height, plan)
         #: the bound kernel hooks, or None when interpretation is active.
         self.kernel: dict | None = None
         #: why code generation was declined, for diagnostics and tests.
         self.fallback_reason: str | None = None
+        #: why the temporal block was declined (runs unblocked instead).
+        self.block_fallback_reason: str | None = None
         #: content fingerprint of the generated kernel (None on fallback).
         self.kernel_fingerprint: str | None = None
-        try:
-            compiled = get_kernel(image, self.plan)
-        except KernelCodegenError as error:
-            self.fallback_reason = str(error)
-        else:
+        self._rounds_per_block = resolve_block_depth(rounds_per_block)
+        compiled = None
+        if self._rounds_per_block > 1:
+            # The blocked kernel *is* the kernel: binding a second unblocked
+            # kernel to the same state would create a parallel task queue.
+            try:
+                compiled = get_kernel(
+                    image, self.plan, rounds=self._rounds_per_block
+                )
+            except KernelCodegenError as error:
+                self.block_fallback_reason = str(error)
+                self._rounds_per_block = 1
+            except TypeError:
+                # A replacement get_kernel (tests monkeypatch it) that
+                # predates the rounds parameter: run unblocked through it.
+                self.block_fallback_reason = (
+                    "kernel provider does not support temporal blocking"
+                )
+                self._rounds_per_block = 1
+        if compiled is None:
+            try:
+                compiled = get_kernel(image, self.plan)
+            except KernelCodegenError as error:
+                self.fallback_reason = str(error)
+        if compiled is not None:
             self.kernel_fingerprint = compiled.fingerprint
             self.kernel = compiled.instantiate(self.state, self.plan)
 
@@ -93,3 +126,33 @@ class CompiledExecutor(VectorizedExecutor):
         if self.kernel is None:
             return super()._deliver_round()
         return self.kernel["deliver"]()
+
+    def _run_rounds(self, max_rounds: int) -> SimulationStatistics:
+        if self.kernel is None or "run_block" not in self.kernel:
+            return super()._run_rounds(max_rounds)
+        # Temporal blocking: the kernel's run_block executes up to R rounds
+        # per invocation on exactly the base drain/settled/deliver schedule,
+        # so termination, deadlock and round-budget semantics match the
+        # inherited loop case for case.
+        run_block = self.kernel["run_block"]
+        remaining = max_rounds
+        while True:
+            if remaining <= 0:
+                raise InterpretationError(
+                    f"simulation exceeded {max_rounds} rounds"
+                )
+            executed, status = run_block(
+                min(self._rounds_per_block, remaining)
+            )
+            self.statistics.rounds += executed
+            remaining -= executed
+            if status == "settled":
+                break
+            if status == "deadlock":
+                raise InterpretationError(
+                    "deadlock: PEs are neither halted nor waiting on an "
+                    "exchange"
+                )
+        self._collect_statistics()
+        self.statistics.block_depth = self._rounds_per_block
+        return self.statistics

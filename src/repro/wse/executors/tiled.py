@@ -58,7 +58,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ir.exceptions import InterpretationError
-from repro.wse.codegen import CompiledKernel, KernelCodegenError, get_kernel
+from repro.wse.codegen import (
+    CompiledKernel,
+    KernelCodegenError,
+    get_kernel,
+    resolve_block_depth,
+)
 from repro.wse.executors.base import (
     Executor,
     SimulationStatistics,
@@ -73,7 +78,13 @@ from repro.wse.executors.vectorized import (
 )
 from repro.wse.interpreter import ProgramImage
 from repro.wse.pe import PE_COUNTER_NAMES, new_pe_counters
-from repro.wse.plan import ExecutionPlan, ShardGeometry
+from repro.wse.plan import (
+    BlockHaloError,
+    BlockHaloSpec,
+    BlockPlanView,
+    ExecutionPlan,
+    ShardGeometry,
+)
 
 #: environment variable overriding the shard-grid extent (K of K×K).
 SHARD_ENV_VAR = "REPRO_TILED_SHARDS"
@@ -87,6 +98,21 @@ MIN_SHARD_SIDE = 4
 #: collection (seconds); shard divergence (which SPMD uniformity rules
 #: out) surfaces as an error instead of a hang.
 SYNC_TIMEOUT_SECONDS = 600.0
+
+#: publication-wait spins before the first sleep: a sibling mid-round
+#: publishes within microseconds, so the wait yields the GIL-free slice
+#: but stays on-CPU while the seam is imminent.
+SPIN_LIMIT = 200
+
+#: first backoff sleep once the spin limit is exhausted (seconds); each
+#: further backoff doubles it (exponent clamped so the shift cannot
+#: overflow) up to :data:`BACKOFF_CAP_SECONDS`.
+BACKOFF_INITIAL_SECONDS = 50e-6
+
+#: ceiling on one backoff sleep — a shard parked behind a slow sibling
+#: polls at least this often, bounding the wake-up latency it adds to
+#: the round once the sibling does publish.
+BACKOFF_CAP_SECONDS = 1e-3
 
 
 def usable_cpu_count() -> int:
@@ -156,6 +182,14 @@ class ShardResult:
     variables: dict[str, float]
     halted: bool
     pe_memory_bytes: int
+    #: temporal-block kernel invocations (0 when the shard ran unblocked).
+    blocks: int = 0
+    #: publication-wait iterations before sleeping kicked in.
+    seam_spins: int = 0
+    #: publication-wait backoff sleeps (exponential, capped).
+    seam_backoffs: int = 0
+    #: round/block barrier rendezvous this shard entered.
+    barrier_waits: int = 0
 
 
 class ShardState(GridState):
@@ -344,13 +378,14 @@ class ShardRunner:
         )
         self._staged = None
 
-    def result(self, rounds: int) -> ShardResult:
+    def result(self, rounds: int, **sync_counters: int) -> ShardResult:
         return ShardResult(
             rounds=rounds,
             counters=dict(self.state.counters),
             variables=dict(self.state.variables),
             halted=self.state.halted,
             pe_memory_bytes=self.state.memory_in_use(),
+            **sync_counters,
         )
 
 
@@ -415,13 +450,94 @@ class CompiledShardRunner:
     def deliver(self) -> None:
         self.hooks["deliver"]()
 
-    def result(self, rounds: int) -> ShardResult:
+    def result(self, rounds: int, **sync_counters: int) -> ShardResult:
         return ShardResult(
             rounds=rounds,
             counters=dict(self.state.counters),
             variables=dict(self.state.variables),
             halted=self.state.halted,
             pe_memory_bytes=self.state.memory_in_use(),
+            **sync_counters,
+        )
+
+
+class BlockShardRunner:
+    """Replays the depth-R temporal-block kernel for one shard.
+
+    Unlike the other runners this one owns a *private* extended-window
+    :class:`~repro.wse.executors.vectorized.GridState` — the shard box plus
+    a ``rounds * radius`` halo margin per axis — rather than views of the
+    shared grid.  Each block gathers the window in from one shared bank
+    (:meth:`gather_in`, exact by the boundary fold), runs up to R delivery
+    rounds entirely locally through the kernel's ``run_block`` hook (the
+    deep fold-composed halo tables keep the core exact while the margin
+    decays), and writes its core back to the opposite bank
+    (:meth:`write_back`).  Scalar state — variables, task queue, pending
+    exchange, halt flag — persists across blocks; only the arrays are
+    re-synced.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        view: BlockPlanView,
+        kernel: CompiledKernel,
+        banks: tuple[dict[str, np.ndarray], dict[str, np.ndarray]],
+        variables: dict[str, float] | None = None,
+        halted: bool = False,
+    ):
+        spec = view.spec
+        self.plan = plan
+        self.box = spec.box
+        self.depth = spec.rounds
+        self.banks = banks
+        self.state = GridState(width=spec.width, height=spec.height)
+        # The kernel binds buffer views at instantiation, so the extended
+        # arrays must exist first (the entry's allocations then no-op).
+        for name, size in plan.buffers.items():
+            self.state.allocate(name, size)
+        if variables:
+            self.state.variables.update(variables)
+        for name, value in plan.variables.items():
+            self.state.variables.setdefault(name, value)
+        self.state.halted = halted
+        self.hooks = kernel.instantiate(self.state, view)
+        self._rows, self._cols = spec.gather_maps()
+        self._core = spec.core_slices()
+
+    def launch(self, entry: str | None = None) -> None:
+        name = entry if entry is not None else self.plan.entry
+        fn = self.hooks["fns"].get(name)
+        if fn is None:
+            raise InterpretationError(f"unknown function or task '{name}'")
+        fn()
+
+    def gather_in(self, bank: int) -> None:
+        """Seed the extended window from a full-grid bank (fold-exact)."""
+        source = self.banks[bank]
+        for name, array in self.state.buffers.items():
+            array[:] = source[name][self._rows, self._cols]
+
+    def run_block(self, budget: int) -> tuple[int, str]:
+        """Up to ``budget`` delivery rounds in-kernel; ``(executed, status)``."""
+        return self.hooks["run_block"](budget)
+
+    def write_back(self, bank: int) -> None:
+        """Publish the core rows/columns into a full-grid bank."""
+        target = self.banks[bank]
+        ys, xs = self._core
+        y0, y1, x0, x1 = self.box
+        for name, array in self.state.buffers.items():
+            target[name][y0:y1, x0:x1] = array[ys, xs]
+
+    def result(self, rounds: int, **sync_counters: int) -> ShardResult:
+        return ShardResult(
+            rounds=rounds,
+            counters=dict(self.state.counters),
+            variables=dict(self.state.variables),
+            halted=self.state.halted,
+            pe_memory_bytes=self.state.memory_in_use(),
+            **sync_counters,
         )
 
 
@@ -498,8 +614,14 @@ def _round_consensus(values, rounds: int) -> bool:
 
 def _await_publications(
     pub_rounds, progress, needed: tuple[int, ...], target: int, barrier
-) -> None:
+) -> tuple[int, int]:
     """Spin until every needed sibling published round ``target`` seams.
+
+    Returns ``(spins, backoffs)`` for the statistics surface.  The first
+    :data:`SPIN_LIMIT` iterations only yield the CPU (``sleep(0)``) — the
+    common case is a sibling publishing within the same scheduling slice —
+    then the wait backs off exponentially from
+    :data:`BACKOFF_INITIAL_SECONDS` up to :data:`BACKOFF_CAP_SECONDS`.
 
     A sibling that settled (negative progress stamp) publishes nothing and
     is excused — the round is then doomed to a divergence error at the
@@ -508,15 +630,16 @@ def _await_publications(
     deferral treats it like any other barrier break.
     """
     if not needed:
-        return
+        return 0, 0
     deadline = time.monotonic() + SYNC_TIMEOUT_SECONDS
     spins = 0
+    backoffs = 0
     while True:
         if all(
             pub_rounds[sibling] >= target or progress[sibling] < 0
             for sibling in needed
         ):
-            return
+            return spins, backoffs
         if getattr(barrier, "broken", False):
             raise threading.BrokenBarrierError(
                 "a sibling shard aborted during the publication wait"
@@ -526,7 +649,16 @@ def _await_publications(
                 "timed out waiting for sibling shards to publish seam data"
             )
         spins += 1
-        time.sleep(0 if spins < 200 else 0.0005)
+        if spins <= SPIN_LIMIT:
+            time.sleep(0)
+        else:
+            backoffs += 1
+            time.sleep(
+                min(
+                    BACKOFF_CAP_SECONDS,
+                    BACKOFF_INITIAL_SECONDS * (1 << min(backoffs - 1, 20)),
+                )
+            )
 
 
 def _run_shard_loop(
@@ -550,18 +682,21 @@ def _run_shard_loop(
     """
     runner.launch(entry)
     rounds = 0
+    barrier_waits = 0
     for _ in range(max_rounds):
         runner.drain()
         settled_flags[index] = 1 if runner.settled else 0
         barrier.wait(SYNC_TIMEOUT_SECONDS)  # all drained, all flags visible
+        barrier_waits += 1
         if _settled_consensus(settled_flags[:]):
-            return runner.result(rounds)
+            return runner.result(rounds, barrier_waits=barrier_waits)
         delivered = runner.stage()
         if delivered == 0:
             raise InterpretationError(
                 "deadlock: PEs are neither halted nor waiting on an exchange"
             )
         barrier.wait(SYNC_TIMEOUT_SECONDS)  # all staged before any write
+        barrier_waits += 1
         runner.deliver()
         rounds += 1
     raise InterpretationError(f"simulation exceeded {max_rounds} rounds")
@@ -590,6 +725,9 @@ def _run_compiled_shard_loop(
     """
     runner.launch(entry)
     rounds = 0
+    seam_spins = 0
+    seam_backoffs = 0
+    barrier_waits = 0
     for _ in range(max_rounds):
         runner.drain()
         settled = runner.settled
@@ -603,16 +741,107 @@ def _run_compiled_shard_loop(
                     "deadlock: PEs are neither halted nor waiting on an "
                     "exchange"
                 )
-            _await_publications(
+            spins, backoffs = _await_publications(
                 pub_rounds, progress, needed, rounds + 1, barrier
             )
+            seam_spins += spins
+            seam_backoffs += backoffs
             runner.stage_rim()
             runner.deliver()
         barrier.wait(SYNC_TIMEOUT_SECONDS)
+        barrier_waits += 1
         if _round_consensus(progress[:], rounds):
-            return runner.result(rounds)
+            return runner.result(
+                rounds,
+                seam_spins=seam_spins,
+                seam_backoffs=seam_backoffs,
+                barrier_waits=barrier_waits,
+            )
         rounds += 1
     raise InterpretationError(f"simulation exceeded {max_rounds} rounds")
+
+
+def _run_block_shard_loop(
+    runner: BlockShardRunner,
+    entry: str | None,
+    max_rounds: int,
+    index: int,
+    progress,
+    barrier,
+) -> ShardResult:
+    """The temporal-block shard lifecycle: one barrier per R rounds.
+
+    The first block runs straight off the launch — the entry (and any tasks
+    it queues) executes over the private extended window, and SPMD
+    uniformity makes the margin cells receive exactly the values their
+    folded fabric counterparts receive, so the window is already exact.
+    Every later block re-gathers the window from the bank the previous
+    block published into.  Banks ping-pong: block ``b`` reads bank
+    ``b % 2`` and writes its core to bank ``(b + 1) % 2``, so a fast shard
+    writing ahead can never disturb a slow sibling still gathering — which
+    is what admits a *single* barrier per block.  Consensus reuses the
+    monotone round-stamp scheme with block numbers as the stamps.
+    """
+    runner.gather_in(0)
+    runner.launch(entry)
+    rounds = 0
+    blocks = 0
+    barrier_waits = 0
+    remaining = max_rounds
+    while True:
+        if remaining <= 0:
+            raise InterpretationError(
+                f"simulation exceeded {max_rounds} rounds"
+            )
+        if blocks:
+            runner.gather_in(blocks % 2)
+        executed, status = runner.run_block(min(runner.depth, remaining))
+        if status == "deadlock":
+            raise InterpretationError(
+                "deadlock: PEs are neither halted nor waiting on an exchange"
+            )
+        runner.write_back((blocks + 1) % 2)
+        rounds += executed
+        remaining -= executed
+        blocks += 1
+        progress[index] = -blocks if status == "settled" else blocks
+        barrier.wait(SYNC_TIMEOUT_SECONDS)
+        barrier_waits += 1
+        if _round_consensus(progress[:], blocks - 1):
+            return runner.result(
+                rounds, blocks=blocks, barrier_waits=barrier_waits
+            )
+
+
+def _block_shard_worker(
+    plan: ExecutionPlan,
+    view: BlockPlanView,
+    kernel: CompiledKernel,
+    banks: tuple[dict[str, np.ndarray], dict[str, np.ndarray]],
+    index: int,
+    progress,
+    barrier,
+    results,
+    entry: str | None,
+    max_rounds: int,
+    variables: dict[str, float],
+    halted: bool,
+) -> None:
+    """Entry point of one forked temporal-block shard process."""
+    try:
+        runner = BlockShardRunner(
+            plan, view, kernel, banks, variables=variables, halted=halted
+        )
+        result = _run_block_shard_loop(
+            runner, entry, max_rounds, index, progress, barrier
+        )
+        results.put((index, "ok", result))
+    except BaseException:
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+        results.put((index, "error", traceback.format_exc()))
 
 
 def _shard_worker(
@@ -876,6 +1105,7 @@ class TiledExecutor(Executor):
         width: int,
         height: int,
         plan: ExecutionPlan | None = None,
+        rounds_per_block: int | None = None,
     ):
         super().__init__(image, width, height, plan)
         kx, ky = shard_grid(width, height)
@@ -911,7 +1141,18 @@ class TiledExecutor(Executor):
         self._snapshot_raw: list = []
         self._needed: tuple[tuple[int, ...], ...] | None = None
         self._pool: _ShardPool | None = None
+        #: why temporal blocking was declined (runs unblocked instead).
+        self.block_fallback_reason: str | None = None
+        self._rounds_per_block = resolve_block_depth(rounds_per_block)
+        #: per-shard depth-R plan views and kernels; None -> unblocked.
+        self._block_views: tuple[BlockPlanView, ...] | None = None
+        self._block_kernels: tuple[CompiledKernel, ...] | None = None
+        #: the second full-grid bank of the blocked ping-pong (lazy).
+        self._bank1: dict[str, np.ndarray] | None = None
+        self._bank1_raw: list = []
         self._compile_shard_kernels()
+        if self._rounds_per_block > 1:
+            self._compile_block_kernels()
 
     def _compile_shard_kernels(self) -> None:
         store = _shard_kernel_store()
@@ -933,6 +1174,60 @@ class TiledExecutor(Executor):
         self._kernels = tuple(kernels)
         self.kernel_fingerprints = tuple(k.fingerprint for k in kernels)
         self._needed = _needed_neighbors(self.plan, self.geometry)
+
+    def _compile_block_kernels(self) -> None:
+        """Derive depth-R plan views and kernels, or record why not.
+
+        Any decline — an inexact deep-halo derivation for some shard box,
+        or a program the generator cannot fuse — resets the executor to
+        unblocked execution; temporal blocking is a pure optimisation, so
+        it must never change which programs run.
+        """
+        if self._kernels is None:
+            self.block_fallback_reason = (
+                "temporal blocking replays compiled shard kernels, but "
+                f"codegen declined: {self.tiled_fallback_reason}"
+            )
+            self._rounds_per_block = 1
+            return
+        store = _shard_kernel_store()
+        views: list[BlockPlanView] = []
+        kernels: list[CompiledKernel] = []
+        try:
+            for box in self.boxes:
+                view = BlockPlanView(
+                    BlockHaloSpec(self.plan, box, self._rounds_per_block)
+                )
+                kernels.append(
+                    get_kernel(
+                        self.image,
+                        view,
+                        store=store,
+                        rounds=self._rounds_per_block,
+                    )
+                )
+                views.append(view)
+        except (BlockHaloError, KernelCodegenError) as error:
+            self.block_fallback_reason = str(error)
+            self._rounds_per_block = 1
+            return
+        self._block_views = tuple(views)
+        self._block_kernels = tuple(kernels)
+
+    def _ensure_banks(self) -> None:
+        """Allocate the second shared full-grid bank blocks ping-pong with."""
+        if self._bank1 is not None:
+            return
+        bank: dict[str, np.ndarray] = {}
+        for name, size in self.plan.buffers.items():
+            raw = multiprocessing.RawArray(
+                "f", self.height * self.width * size
+            )
+            self._bank1_raw.append(raw)
+            bank[name] = np.frombuffer(raw, dtype=np.float32).reshape(
+                self.height, self.width, size
+            )
+        self._bank1 = bank
 
     def _ensure_snapshots(self) -> None:
         """Allocate the shared seam snapshots the shard kernels bind.
@@ -1012,7 +1307,19 @@ class TiledExecutor(Executor):
             len(self.boxes) > 1
             and "fork" in multiprocessing.get_all_start_methods()
         )
-        if self._kernels is not None:
+        if self._block_kernels is not None:
+            self._ensure_banks()
+            if forkable:
+                results = self._run_forked_blocked(entry, max_rounds)
+            else:
+                results = self._run_sequential_blocked(entry, max_rounds)
+            # An odd block count leaves the final state in the second
+            # bank; fold it back so bank 0 stays the canonical grid the
+            # host reads and the next run gathers from.
+            if results[0].blocks % 2:
+                for name, array in self.buffers.items():
+                    array[:] = self._bank1[name]
+        elif self._kernels is not None:
             self._ensure_snapshots()
             if forkable:
                 results = self._run_pooled(entry, max_rounds)
@@ -1086,6 +1393,102 @@ class TiledExecutor(Executor):
             rounds += 1
         raise InterpretationError(f"simulation exceeded {max_rounds} rounds")
 
+    # -- temporal-block shards ------------------------------------------- #
+
+    def _block_runners(self) -> list[BlockShardRunner]:
+        banks = (self.buffers, self._bank1)
+        return [
+            BlockShardRunner(
+                self.plan,
+                view,
+                kernel,
+                banks,
+                variables=dict(self._variables),
+                halted=self._halted,
+            )
+            for view, kernel in zip(self._block_views, self._block_kernels)
+        ]
+
+    def _run_sequential_blocked(
+        self, entry: str | None, max_rounds: int
+    ) -> list[ShardResult]:
+        """Drive the temporal-block shards in-process, one bank swap per
+        block (1-shard grids and fork-less platforms)."""
+        runners = self._block_runners()
+        for runner in runners:
+            runner.gather_in(0)
+            runner.launch(entry)
+        rounds = 0
+        blocks = 0
+        remaining = max_rounds
+        while True:
+            if remaining <= 0:
+                raise InterpretationError(
+                    f"simulation exceeded {max_rounds} rounds"
+                )
+            if blocks:
+                for runner in runners:
+                    runner.gather_in(blocks % 2)
+            budget = min(self._rounds_per_block, remaining)
+            outcomes = [runner.run_block(budget) for runner in runners]
+            if any(status == "deadlock" for _, status in outcomes):
+                raise InterpretationError(
+                    "deadlock: PEs are neither halted nor waiting on an "
+                    "exchange"
+                )
+            for runner in runners:
+                runner.write_back((blocks + 1) % 2)
+            executed = {count for count, _ in outcomes}
+            if len(executed) != 1:
+                raise InterpretationError(
+                    "shards diverged: temporal blocks executed "
+                    f"{sorted(executed)} rounds across the SPMD fabric"
+                )
+            rounds += executed.pop()
+            remaining -= outcomes[0][0]
+            blocks += 1
+            if _settled_consensus(
+                [status == "settled" for _, status in outcomes]
+            ):
+                return [
+                    runner.result(rounds, blocks=blocks)
+                    for runner in runners
+                ]
+
+    def _run_forked_blocked(
+        self, entry: str | None, max_rounds: int
+    ) -> list[ShardResult]:
+        """Fork one temporal-block worker per shard: one barrier per R
+        rounds instead of one (or two) per round."""
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(len(self.boxes))
+        progress = multiprocessing.RawArray("q", len(self.boxes))
+        results_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_block_shard_worker,
+                args=(
+                    self.plan,
+                    view,
+                    kernel,
+                    (self.buffers, self._bank1),
+                    index,
+                    progress,
+                    barrier,
+                    results_queue,
+                    entry,
+                    max_rounds,
+                    dict(self._variables),
+                    self._halted,
+                ),
+                daemon=True,
+            )
+            for index, (view, kernel) in enumerate(
+                zip(self._block_views, self._block_kernels)
+            )
+        ]
+        return self._collect_forked(workers, results_queue)
+
     # -- interpreted shards (codegen fallback) --------------------------- #
 
     def _run_sequential(
@@ -1152,6 +1555,12 @@ class TiledExecutor(Executor):
             )
             for index, box in enumerate(self.boxes)
         ]
+        return self._collect_forked(workers, results_queue)
+
+    def _collect_forked(
+        self, workers, results_queue
+    ) -> list[ShardResult]:
+        """Start fork-per-run workers and collect one result per shard."""
         for worker in workers:
             worker.start()
 
@@ -1226,6 +1635,8 @@ class TiledExecutor(Executor):
         shard_statistics = [
             SimulationStatistics(
                 max_pe_memory_bytes=result.pe_memory_bytes,
+                seam_spins=result.seam_spins,
+                seam_backoffs=result.seam_backoffs,
                 **{
                     name: self._pe_counters[name] * pes
                     for name in PE_COUNTER_NAMES
@@ -1233,10 +1644,21 @@ class TiledExecutor(Executor):
             )
             for result, pes in zip(results, self._shard_pe_counts())
         ]
+        # Barrier waits are SPMD-uniform (every shard enters the same
+        # rendezvous), so the count comes from one shard — summing would
+        # just multiply it by the shard count.
         self.statistics = SimulationStatistics.merge(
-            [self.statistics, SimulationStatistics(rounds=rounds.pop())]
+            [
+                self.statistics,
+                SimulationStatistics(
+                    rounds=rounds.pop(),
+                    barrier_waits=first.barrier_waits,
+                ),
+            ]
             + shard_statistics
         )
+        if first.blocks:
+            self.statistics.block_depth = self._rounds_per_block
         self._variables = dict(first.variables)
         self._halted = first.halted
 
